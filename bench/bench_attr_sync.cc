@@ -1,0 +1,155 @@
+// E9 — the §6.3 attribute-synchronization machinery itself:
+//   * the kernel-entry fast path (clean bits) vs slow path (dirty bits) —
+//     see also bench_no_penalty for the plain-process baseline;
+//   * the cost of UPDATING a shared scalar as group size grows (the update
+//     flags every other sharing member: linear in members);
+//   * descriptor-table publish cost as the table fills (the master copy is
+//     a full-table copy with reference-count traffic);
+//   * the pull cost a member pays on its first entry after being flagged.
+#include <chrono>
+
+#include "bench/bench_util.h"
+
+namespace sg {
+namespace {
+
+double Secs(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// Sleeping members so the group has `members` extra entries to flag.
+std::vector<pid_t> SpawnSleepers(Env& env, int members) {
+  std::vector<pid_t> pids;
+  for (int i = 0; i < members; ++i) {
+    const pid_t pid = env.Sproc(
+        [](Env& c, long) {
+          while (true) {
+            c.Pause();
+          }
+        },
+        PR_SALL);
+    if (pid > 0) {
+      pids.push_back(pid);
+    }
+  }
+  return pids;
+}
+
+void ReapSleepers(Env& env, const std::vector<pid_t>& pids) {
+  for (pid_t pid : pids) {
+    env.Kill(pid, kSigKill);
+  }
+  for (size_t i = 0; i < pids.size(); ++i) {
+    env.WaitChild();
+  }
+}
+
+void BM_UmaskUpdateVsGroupSize(benchmark::State& state) {
+  const int members = static_cast<int>(state.range(0));
+  Kernel k;
+  constexpr int kCalls = 1024;
+  for (auto _ : state) {
+    double elapsed = 0;
+    RunSim(k, [&](Env& env) {
+      auto pids = SpawnSleepers(env, members);
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < kCalls; ++i) {
+        env.Umask(static_cast<mode_t>(i & 0777));  // update + flag the others
+      }
+      elapsed = Secs(t0);
+      ReapSleepers(env, pids);
+    });
+    state.SetIterationTime(elapsed);
+  }
+  state.SetItemsProcessed(state.iterations() * kCalls);
+  state.counters["members"] = members;
+}
+
+BENCHMARK(BM_UmaskUpdateVsGroupSize)->Arg(0)->Arg(1)->Arg(3)->Arg(7)->Arg(15)
+    ->UseManualTime();
+
+void BM_FdPublishVsTableSize(benchmark::State& state) {
+  const int open_fds = static_cast<int>(state.range(0));
+  Kernel k;
+  constexpr int kCalls = 256;
+  for (auto _ : state) {
+    double elapsed = 0;
+    RunSim(k, [&](Env& env) {
+      auto pids = SpawnSleepers(env, 2);
+      for (int i = 0; i < open_fds; ++i) {
+        char path[32];
+        std::snprintf(path, sizeof(path), "/fill%d", i);
+        env.Open(path, kOpenWrite | kOpenCreat);
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < kCalls; ++i) {
+        // Each open+close republishes the table into s_ofile (full copy).
+        const int fd = env.Open("/churn", kOpenWrite | kOpenCreat);
+        env.Close(fd);
+      }
+      elapsed = Secs(t0);
+      ReapSleepers(env, pids);
+    });
+    state.SetIterationTime(elapsed);
+  }
+  state.SetItemsProcessed(state.iterations() * kCalls);
+  state.counters["open_fds"] = open_fds;
+}
+
+BENCHMARK(BM_FdPublishVsTableSize)->Arg(0)->Arg(16)->Arg(48)->UseManualTime();
+
+void BM_PullCostAfterFlag(benchmark::State& state) {
+  Kernel k;
+  constexpr int kCalls = 1024;
+  for (auto _ : state) {
+    double elapsed = 0;
+    RunSim(k, [&](Env& env) {
+      env.Sproc([](Env&, long) {}, PR_SALL);
+      env.WaitChild();
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < kCalls; ++i) {
+        // Flag ourselves dirty on every resource, then pay one entry-sync.
+        env.proc().p_flag.fetch_or(kPfSyncAny & ~kPfSyncFds, std::memory_order_relaxed);
+        benchmark::DoNotOptimize(env.UlimitGet());
+      }
+      elapsed = Secs(t0);
+    });
+    state.SetIterationTime(elapsed);
+  }
+  state.SetItemsProcessed(state.iterations() * kCalls);
+}
+
+BENCHMARK(BM_PullCostAfterFlag)->UseManualTime();
+
+void BM_FdPullAfterFlag(benchmark::State& state) {
+  const int open_fds = static_cast<int>(state.range(0));
+  Kernel k;
+  constexpr int kCalls = 256;
+  for (auto _ : state) {
+    double elapsed = 0;
+    RunSim(k, [&](Env& env) {
+      for (int i = 0; i < open_fds; ++i) {
+        char path[32];
+        std::snprintf(path, sizeof(path), "/pf%d", i);
+        env.Open(path, kOpenWrite | kOpenCreat);
+      }
+      env.Sproc([](Env&, long) {}, PR_SALL);
+      env.WaitChild();
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < kCalls; ++i) {
+        // A full descriptor-table pull: release ours, dup the master's.
+        env.proc().p_flag.fetch_or(kPfSyncFds, std::memory_order_relaxed);
+        benchmark::DoNotOptimize(env.UlimitGet());
+      }
+      elapsed = Secs(t0);
+    });
+    state.SetIterationTime(elapsed);
+  }
+  state.SetItemsProcessed(state.iterations() * kCalls);
+  state.counters["open_fds"] = open_fds;
+}
+
+BENCHMARK(BM_FdPullAfterFlag)->Arg(0)->Arg(16)->Arg(48)->UseManualTime();
+
+}  // namespace
+}  // namespace sg

@@ -1,0 +1,172 @@
+// E5 — data-passing bandwidth (§3 "Bandwidth"): "if the amount of data is
+// large, or frequently accessed in parallel, then a shared memory model
+// provides the highest bandwidth possible", while pipes and System V
+// messages pay the copy-into-kernel / copy-out-of-kernel queueing tax.
+//
+// Fair accounting: every variant moves the payload through SIMULATED user
+// memory. The producer generates the data with word stores (pass 1) and
+// the consumer checksums it with word loads (final pass). In between:
+//   * shared memory — nothing: the consumer reads the producer's buffer in
+//     place (2 passes total, zero kernel copies);
+//   * pipe          — write(2) copies user->kernel and read(2) copies
+//                     kernel->user through a 4 KiB pipe buffer (4 passes);
+//   * sysv msgq     — msgsnd/msgrcv do the same two copies through a
+//                     bounded message queue (4 passes).
+#include "bench/bench_util.h"
+
+namespace sg {
+namespace {
+
+constexpr u64 kChunk = 4096;
+
+// Pass 1: generate `len` bytes at `buf` with 64-bit stores.
+void Generate(Env& env, vaddr_t buf, u64 len) {
+  for (u64 off = 0; off < len; off += 8) {
+    env.Store<u64>(buf + off, off * 1315423911u);
+  }
+}
+
+// Final pass: checksum `len` bytes at `buf` with 64-bit loads.
+u64 Consume(Env& env, vaddr_t buf, u64 len) {
+  u64 sum = 0;
+  for (u64 off = 0; off < len; off += 8) {
+    sum += env.Load<u64>(buf + off);
+  }
+  return sum;
+}
+
+void BM_PipeBandwidth(benchmark::State& state) {
+  const u64 bytes = static_cast<u64>(state.range(0));
+  BootParams bp;
+  bp.phys_mem_bytes = u64{512} << 20;
+  Kernel k(bp);
+  for (auto _ : state) {
+    RunSim(k, [&](Env& env) {
+      int rd = -1, wr = -1;
+      env.Pipe(&rd, &wr);
+      env.Fork([rd, wr, bytes](Env& c, long) {
+        c.Close(wr);
+        const vaddr_t buf = c.Mmap(kChunk);
+        u64 got = 0;
+        u64 sum = 0;
+        while (got < bytes) {
+          const i64 n = c.Read(rd, buf, kChunk);  // kernel -> user copy
+          if (n <= 0) {
+            break;
+          }
+          sum += Consume(c, buf, static_cast<u64>(n));
+          got += static_cast<u64>(n);
+        }
+        benchmark::DoNotOptimize(sum);
+      });
+      env.Close(rd);
+      const vaddr_t buf = env.Mmap(kChunk);
+      u64 sent = 0;
+      while (sent < bytes) {
+        const u64 n = std::min(kChunk, bytes - sent);
+        Generate(env, buf, n);
+        env.Write(wr, buf, n);  // user -> kernel copy
+        sent += n;
+      }
+      env.Close(wr);
+      env.WaitChild();
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<i64>(bytes));
+}
+
+BENCHMARK(BM_PipeBandwidth)->Arg(64 << 10)->Arg(1 << 20)->Arg(8 << 20)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_MsgQueueBandwidth(benchmark::State& state) {
+  const u64 bytes = static_cast<u64>(state.range(0));
+  BootParams bp;
+  bp.phys_mem_bytes = u64{512} << 20;
+  Kernel k(bp);
+  for (auto _ : state) {
+    RunSim(k, [&](Env& env) {
+      const int q = env.Msgget(0);
+      env.Fork([q, bytes](Env& c, long) {
+        const vaddr_t buf = c.Mmap(kChunk);
+        u64 got = 0;
+        u64 sum = 0;
+        while (got < bytes) {
+          const i64 n = c.MsgrcvU(q, buf, kChunk);
+          if (n <= 0) {
+            break;
+          }
+          sum += Consume(c, buf, static_cast<u64>(n));
+          got += static_cast<u64>(n);
+        }
+        benchmark::DoNotOptimize(sum);
+      });
+      const vaddr_t buf = env.Mmap(kChunk);
+      u64 sent = 0;
+      while (sent < bytes) {
+        const u64 n = std::min(kChunk, bytes - sent);
+        Generate(env, buf, n);
+        env.MsgsndU(q, buf, n);
+        sent += n;
+      }
+      env.WaitChild();
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<i64>(bytes));
+}
+
+BENCHMARK(BM_MsgQueueBandwidth)->Arg(64 << 10)->Arg(1 << 20)->Arg(8 << 20)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// Shared memory inside a share group: the producer generates straight into
+// the shared image; the consumer checksums it in place. One atomic flag
+// handoff per 64 KiB window, no kernel copies at all.
+void BM_SharedMemBandwidth(benchmark::State& state) {
+  const u64 bytes = static_cast<u64>(state.range(0));
+  BootParams bp;
+  bp.phys_mem_bytes = u64{512} << 20;
+  Kernel k(bp);
+  static constexpr u64 kWindow = 64 << 10;
+  for (auto _ : state) {
+    RunSim(k, [&](Env& env) {
+      const vaddr_t base = env.Mmap(2 * kWindow + kPageSize);
+      const vaddr_t flag = base + 2 * kWindow;  // 0 empty, 1|2 = window id
+      env.Sproc(
+          [base, flag, bytes](Env& c, long) {
+            u64 got = 0;
+            u64 sum = 0;
+            while (got < bytes) {
+              u32 which;
+              while ((which = c.AtomicRead32(flag)) == 0) {
+                c.Yield();
+              }
+              const u64 n = std::min(kWindow, bytes - got);
+              sum += Consume(c, base + (which - 1) * kWindow, n);
+              got += n;
+              c.AtomicWrite32(flag, 0);
+            }
+            benchmark::DoNotOptimize(sum);
+          },
+          PR_SADDR, 0);
+      u64 sent = 0;
+      u32 next = 1;
+      while (sent < bytes) {
+        const u64 n = std::min(kWindow, bytes - sent);
+        Generate(env, base + (next - 1) * kWindow, n);
+        while (env.AtomicRead32(flag) != 0) {
+          env.Yield();
+        }
+        env.AtomicWrite32(flag, next);
+        sent += n;
+        next = 3 - next;
+      }
+      env.WaitChild();
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<i64>(bytes));
+}
+
+BENCHMARK(BM_SharedMemBandwidth)->Arg(64 << 10)->Arg(1 << 20)->Arg(8 << 20)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sg

@@ -1,0 +1,117 @@
+// E1 + E2 — task creation cost (DESIGN.md §3).
+//
+// Paper claims reproduced here:
+//   §7  "the time for a sproc() system call is slightly less than a regular
+//        fork()" — because a VM-sharing sproc skips the copy-on-write
+//        duplication of the image; the gap grows with the number of
+//        resident pages the image holds.
+//   §3  "the Mach kernel can create and destroy threads at 10 times the
+//        rate of the fork() system call" — threads allocate only a kernel
+//        context, no process image at all. (And §3's rebuttal: creation
+//        rate is irrelevant under self-scheduling — see bench_self_sched.)
+//
+// Each iteration runs a batch of create+reap pairs from inside a simulated
+// process; the `pages` argument is how many image pages the creator has
+// resident (what fork must dup).
+#include "bench/bench_util.h"
+#include "mach/task.h"
+
+namespace sg {
+namespace {
+
+constexpr int kBatch = 64;
+
+// Touches `pages` pages of arena so the image has that many resident pages.
+vaddr_t TouchPages(Env& env, u64 pages) {
+  const vaddr_t base = env.Mmap(pages * kPageSize);
+  for (u64 i = 0; i < pages; ++i) {
+    env.Store32(base + i * kPageSize, static_cast<u32>(i));
+  }
+  return base;
+}
+
+void Noop(Env&, long) {}
+
+void CreateBatch(Env& env, u32 mode /*0=fork 1=sproc-shared 2=sproc-cow*/) {
+  for (int i = 0; i < kBatch; ++i) {
+    pid_t pid = -1;
+    switch (mode) {
+      case 0: pid = env.Fork(Noop); break;
+      case 1: pid = env.Sproc(Noop, PR_SALL); break;
+      case 2: pid = env.Sproc(Noop, PR_SFDS); break;  // member, but COW image
+    }
+    if (pid < 0) {
+      std::abort();
+    }
+    env.WaitChild();
+  }
+}
+
+void BM_Create(benchmark::State& state, u32 mode) {
+  const u64 pages = static_cast<u64>(state.range(0));
+  BootParams bp;
+  bp.phys_mem_bytes = u64{512} << 20;
+  Kernel k(bp);
+  for (auto _ : state) {
+    RunSim(k, [&](Env& env) {
+      TouchPages(env, pages);
+      CreateBatch(env, mode);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  state.counters["img_pages"] = static_cast<double>(pages);
+}
+
+void BM_Fork(benchmark::State& state) { BM_Create(state, 0); }
+void BM_SprocShared(benchmark::State& state) { BM_Create(state, 1); }
+void BM_SprocCow(benchmark::State& state) { BM_Create(state, 2); }
+
+BENCHMARK(BM_Fork)->Arg(16)->Arg(256)->Arg(2048)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SprocShared)->Arg(16)->Arg(256)->Arg(2048)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SprocCow)->Arg(16)->Arg(256)->Arg(2048)->Unit(benchmark::kMicrosecond);
+
+// E2: Mach-style thread create/join against process creation at the same
+// image size (the image size is irrelevant to threads — that IS the claim).
+void BM_MachThread(benchmark::State& state) {
+  const u64 pages = static_cast<u64>(state.range(0));
+  BootParams bp;
+  bp.phys_mem_bytes = u64{512} << 20;
+  Kernel k(bp);
+  for (auto _ : state) {
+    RunSim(k, [&](Env& env) {
+      TouchPages(env, pages);
+      MachTask task(env.proc(), k.mem(), k.sched());
+      for (int i = 0; i < kBatch; ++i) {
+        auto tid = task.ThreadCreate([](int) {});
+        if (!tid.ok()) {
+          std::abort();
+        }
+        if (!task.ThreadJoin(tid.value()).ok()) {
+          std::abort();
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  state.counters["img_pages"] = static_cast<double>(pages);
+}
+
+BENCHMARK(BM_MachThread)->Arg(16)->Arg(2048)->Unit(benchmark::kMicrosecond);
+
+// Harness floor: launch + page touching with NO creations, so per-creation
+// costs can be read as (variant - baseline) / batch.
+void BM_Baseline(benchmark::State& state) {
+  const u64 pages = static_cast<u64>(state.range(0));
+  BootParams bp;
+  bp.phys_mem_bytes = u64{512} << 20;
+  Kernel k(bp);
+  for (auto _ : state) {
+    RunSim(k, [&](Env& env) { TouchPages(env, pages); });
+  }
+  state.counters["img_pages"] = static_cast<double>(pages);
+}
+
+BENCHMARK(BM_Baseline)->Arg(16)->Arg(256)->Arg(2048)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sg

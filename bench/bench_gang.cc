@@ -1,0 +1,74 @@
+// E10 — group scheduling, the §8 future-work idea implemented as an
+// extension (PR_SETGROUPPRI): "the shared address block ... provides a
+// convenient handle for making scheduling decisions about the process
+// group as a whole. ... The priority of the whole group could be raised or
+// lowered."
+//
+// A two-member share group runs spin-barrier rounds while background
+// processes compete for the simulated CPUs (2 CPUs, 4 background spinners).
+// With the group's priority raised, both members win slots at every
+// scheduling point and the barrier makes progress at full speed; at equal
+// priority the members are frequently split apart and each round stalls —
+// the exact pathology gang scheduling exists to prevent.
+#include "bench/bench_util.h"
+
+namespace sg {
+namespace {
+
+constexpr int kRounds = 64;
+constexpr int kBackground = 4;
+
+void BM_GroupBarrier(benchmark::State& state, bool gang) {
+  BootParams bp;
+  bp.ncpus = 2;
+  Kernel k(bp);
+  for (auto _ : state) {
+    RunSim(k, [&](Env& env) {
+      const vaddr_t bar = env.Mmap(kPageSize);
+      std::atomic<bool> stop{false};
+      // Background load: plain processes burning their timeslices.
+      std::vector<pid_t> noise;
+      for (int i = 0; i < kBackground; ++i) {
+        noise.push_back(env.Fork([&stop](Env& c, long) {
+          const vaddr_t scratch = c.Mmap(kPageSize);
+          while (!stop.load()) {
+            for (int n = 0; n < 64; ++n) {
+              c.Store32(scratch, static_cast<u32>(n));
+            }
+            c.Yield();  // scheduling point: priorities decide who runs
+          }
+        }));
+      }
+      // The gang: one partner member plus ourselves.
+      env.Sproc(
+          [bar](Env& c, long) {
+            for (int r = 0; r < kRounds; ++r) {
+              c.SpinBarrier(bar, 2);
+            }
+          },
+          PR_SADDR);
+      if (gang) {
+        env.Prctl(PR_SETGROUPPRI, 10);
+      }
+      for (int r = 0; r < kRounds; ++r) {
+        env.SpinBarrier(bar, 2);
+      }
+      env.WaitChild();  // the partner
+      stop = true;
+      for (size_t i = 0; i < noise.size(); ++i) {
+        env.WaitChild();
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kRounds);
+  state.counters["gang"] = gang ? 1 : 0;
+}
+
+void BM_BarrierNoGang(benchmark::State& state) { BM_GroupBarrier(state, false); }
+void BM_BarrierGang(benchmark::State& state) { BM_GroupBarrier(state, true); }
+
+BENCHMARK(BM_BarrierNoGang)->Unit(benchmark::kMillisecond)->Iterations(5);
+BENCHMARK(BM_BarrierGang)->Unit(benchmark::kMillisecond)->Iterations(5);
+
+}  // namespace
+}  // namespace sg

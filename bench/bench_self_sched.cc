@@ -1,0 +1,111 @@
+// E7 — self-scheduling vs dynamic creation (§3): "parallel programs tend to
+// use a static number of tasks, and these tasks can be preallocated, which
+// avoids dynamic startup costs ... If normal processes are used instead of
+// threads, then the speed penalties of process creation are eliminated by
+// creating a pool of processes before entering parallel sections of code,
+// each of which then self-schedules as work becomes available."
+//
+// Fixed total work (kItems items of kSpinWork simulated memory ops each):
+//   * pool      — kWorkers preallocated sproc members, shared work cursor;
+//   * per-item  — one fresh sproc member created (and reaped) per item;
+//   * per-fork  — one fresh fork child per item (the heaviest creation).
+#include "bench/bench_util.h"
+
+namespace sg {
+namespace {
+
+constexpr int kWorkers = 4;
+constexpr u32 kItems = 256;     // many small items: the regime where dynamic
+constexpr u32 kSpinWork = 500;  // creation cost dominates (simulated ops/item)
+
+void DoItem(Env& env, vaddr_t scratch) {
+  for (u32 i = 0; i < kSpinWork; ++i) {
+    env.Store32(scratch + 4 * (i % 512), i);
+  }
+}
+
+void BM_SelfSchedulingPool(benchmark::State& state) {
+  Kernel k;
+  for (auto _ : state) {
+    RunSim(k, [&](Env& env) {
+      const vaddr_t base = env.Mmap(16 * kPageSize);
+      const vaddr_t cursor = base;  // work queue: a shared cursor
+      for (int w = 0; w < kWorkers; ++w) {
+        env.Sproc(
+            [base, cursor](Env& c, long widx) {
+              const vaddr_t scratch = base + kPageSize * (1 + static_cast<u64>(widx));
+              for (;;) {
+                const u32 item = c.FetchAdd32(cursor, 1);
+                if (item >= kItems) {
+                  return;
+                }
+                DoItem(c, scratch);
+              }
+            },
+            PR_SADDR, w);
+      }
+      for (int w = 0; w < kWorkers; ++w) {
+        env.WaitChild();
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kItems);
+}
+
+BENCHMARK(BM_SelfSchedulingPool)->Unit(benchmark::kMillisecond);
+
+void BM_SprocPerItem(benchmark::State& state) {
+  Kernel k;
+  for (auto _ : state) {
+    RunSim(k, [&](Env& env) {
+      const vaddr_t base = env.Mmap(16 * kPageSize);
+      u32 issued = 0;
+      while (issued < kItems) {
+        int batch = 0;
+        for (; batch < kWorkers && issued < kItems; ++batch, ++issued) {
+          env.Sproc(
+              [base](Env& c, long widx) {
+                DoItem(c, base + kPageSize * (1 + static_cast<u64>(widx % kWorkers)));
+              },
+              PR_SADDR, batch);
+        }
+        for (int i = 0; i < batch; ++i) {
+          env.WaitChild();
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kItems);
+}
+
+BENCHMARK(BM_SprocPerItem)->Unit(benchmark::kMillisecond);
+
+void BM_ForkPerItem(benchmark::State& state) {
+  Kernel k;
+  for (auto _ : state) {
+    RunSim(k, [&](Env& env) {
+      const vaddr_t base = env.Mmap(16 * kPageSize);
+      env.Store32(base, 1);  // resident page for fork to dup
+      u32 issued = 0;
+      while (issued < kItems) {
+        int batch = 0;
+        for (; batch < kWorkers && issued < kItems; ++batch, ++issued) {
+          env.Fork(
+              [base](Env& c, long widx) {
+                DoItem(c, base + kPageSize * (1 + static_cast<u64>(widx % kWorkers)));
+              },
+              batch);
+        }
+        for (int i = 0; i < batch; ++i) {
+          env.WaitChild();
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kItems);
+}
+
+BENCHMARK(BM_ForkPerItem)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sg

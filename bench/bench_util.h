@@ -1,0 +1,26 @@
+// Shared helpers for the experiment benchmarks (DESIGN.md §3).
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "api/kernel.h"
+#include "api/user_env.h"
+
+namespace sg {
+
+// Runs `body` as a simulated process and blocks until the whole process
+// tree has exited and been reaped.
+inline void RunSim(Kernel& k, std::function<void(Env&)> body) {
+  auto pid = k.Launch([body = std::move(body)](Env& env, long) { body(env); });
+  if (!pid.ok()) {
+    std::abort();
+  }
+  k.WaitAll();
+}
+
+}  // namespace sg
+
+#endif  // BENCH_BENCH_UTIL_H_

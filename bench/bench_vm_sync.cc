@@ -1,0 +1,172 @@
+// E3 — cost of synchronizing the shared VM image (DESIGN.md §3).
+//
+// §7: "The overhead for synchronizing virtual memory is negligible except
+// when detaching or shrinking regions." Reproduced as:
+//   * page-fault throughput of a group member vs a plain process
+//     (read-side shared lock on every fault — nearly free);
+//   * sbrk GROW per call vs group size (update lock, no shootdown);
+//   * sbrk SHRINK per call vs group size (update lock + synchronous
+//     all-processor TLB flush + frame frees — the expensive one);
+//   * mmap/munmap pair vs group size (attach cheap, detach shoots down).
+#include "bench/bench_util.h"
+
+namespace sg {
+namespace {
+
+// Keeps `members` extra group members alive (sleeping in pause(2), so they
+// cost no CPU but their TLBs are shootdown targets) while `body` runs.
+void WithMembers(Env& env, int members, const std::function<void(Env&)>& body) {
+  std::vector<pid_t> pids;
+  for (int i = 0; i < members; ++i) {
+    const pid_t pid = env.Sproc(
+        [](Env& c, long) {
+          while (true) {
+            c.Pause();
+          }
+        },
+        PR_SALL);
+    if (pid > 0) {
+      pids.push_back(pid);
+    }
+  }
+  body(env);
+  for (pid_t pid : pids) {
+    env.Kill(pid, kSigKill);
+  }
+  for (size_t i = 0; i < pids.size(); ++i) {
+    env.WaitChild();
+  }
+}
+
+void BM_FaultThroughput(benchmark::State& state) {
+  const bool grouped = state.range(0) != 0;
+  BootParams bp;
+  bp.phys_mem_bytes = u64{512} << 20;
+  Kernel k(bp);
+  constexpr u64 kPages = 4096;
+  u64 faults = 0;
+  for (auto _ : state) {
+    RunSim(k, [&](Env& env) {
+      if (grouped) {
+        env.Sproc([](Env&, long) {}, PR_SALL);  // form the group
+        env.WaitChild();
+      }
+      const u64 f0 = env.proc().as.faults.load();
+      const vaddr_t base = env.Mmap(kPages * kPageSize);
+      for (u64 i = 0; i < kPages; ++i) {
+        env.Store32(base + i * kPageSize, 1);  // first touch: demand-zero fault
+      }
+      faults += env.proc().as.faults.load() - f0;
+      env.Munmap(base);
+    });
+  }
+  state.SetItemsProcessed(static_cast<i64>(faults));
+  state.counters["grouped"] = grouped ? 1 : 0;
+}
+
+BENCHMARK(BM_FaultThroughput)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_SbrkGrow(benchmark::State& state) {
+  const int members = static_cast<int>(state.range(0));
+  BootParams bp;
+  bp.phys_mem_bytes = u64{512} << 20;
+  Kernel k(bp);
+  constexpr int kCalls = 256;
+  for (auto _ : state) {
+    RunSim(k, [&](Env& env) {
+      WithMembers(env, members, [&](Env& e) {
+        for (int i = 0; i < kCalls; ++i) {
+          e.Sbrk(static_cast<i64>(kPageSize));
+        }
+        e.Sbrk(-static_cast<i64>(kCalls) * static_cast<i64>(kPageSize));
+      });
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kCalls);
+  state.counters["members"] = members;
+}
+
+BENCHMARK(BM_SbrkGrow)->Arg(0)->Arg(1)->Arg(3)->Arg(7)->Unit(benchmark::kMicrosecond);
+
+void BM_SbrkShrink(benchmark::State& state) {
+  const int members = static_cast<int>(state.range(0));
+  BootParams bp;
+  bp.phys_mem_bytes = u64{512} << 20;
+  Kernel k(bp);
+  constexpr int kCalls = 256;
+  u64 shootdowns = 0;
+  for (auto _ : state) {
+    RunSim(k, [&](Env& env) {
+      WithMembers(env, members, [&](Env& e) {
+        e.Sbrk(static_cast<i64>(kCalls) * static_cast<i64>(kPageSize));
+        const vaddr_t brk = e.Sbrk(0);
+        for (int i = 0; i < kCalls; ++i) {
+          e.Store32(brk - static_cast<u64>(i + 1) * kPageSize, 1);  // make frames real
+        }
+        const u64 s0 = k.cpus().shootdowns();
+        for (int i = 0; i < kCalls; ++i) {
+          e.Sbrk(-static_cast<i64>(kPageSize));  // each one: flush + free
+        }
+        shootdowns += k.cpus().shootdowns() - s0;
+      });
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kCalls);
+  state.counters["members"] = members;
+  state.counters["shootdowns_per_call"] =
+      static_cast<double>(shootdowns) / static_cast<double>(state.iterations() * kCalls);
+}
+
+BENCHMARK(BM_SbrkShrink)->Arg(0)->Arg(1)->Arg(3)->Arg(7)->Unit(benchmark::kMicrosecond);
+
+void BM_MapUnmap(benchmark::State& state) {
+  const int members = static_cast<int>(state.range(0));
+  BootParams bp;
+  bp.phys_mem_bytes = u64{512} << 20;
+  Kernel k(bp);
+  constexpr int kCalls = 128;
+  for (auto _ : state) {
+    RunSim(k, [&](Env& env) {
+      WithMembers(env, members, [&](Env& e) {
+        for (int i = 0; i < kCalls; ++i) {
+          const vaddr_t a = e.Mmap(4 * kPageSize);
+          e.Store32(a, 1);
+          e.Munmap(a);  // detach: shootdown before the frames are freed
+        }
+      });
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kCalls);
+  state.counters["members"] = members;
+}
+
+BENCHMARK(BM_MapUnmap)->Arg(0)->Arg(3)->Arg(7)->Unit(benchmark::kMicrosecond);
+
+// The pager under pressure: sequential sweeps over a working set larger
+// than physical memory, with the pageout clock and major faults inside the
+// fault path. Arg = working-set pages (memory holds 256 frames).
+void BM_SwapThrash(benchmark::State& state) {
+  const u64 pages = static_cast<u64>(state.range(0));
+  BootParams bp;
+  bp.phys_mem_bytes = 256 * kPageSize;
+  bp.swap_pages = 8192;
+  Kernel k(bp);
+  for (auto _ : state) {
+    RunSim(k, [&](Env& env) {
+      const vaddr_t a = env.Mmap(pages * kPageSize);
+      for (int sweep = 0; sweep < 2; ++sweep) {
+        for (u64 i = 0; i < pages; ++i) {
+          env.Store32(a + i * kPageSize, static_cast<u32>(i));
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<i64>(2 * pages));
+  state.counters["swap_outs"] =
+      k.swap() != nullptr ? static_cast<double>(k.swap()->outs()) : 0.0;
+}
+
+BENCHMARK(BM_SwapThrash)->Arg(128)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sg

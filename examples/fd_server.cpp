@@ -1,0 +1,122 @@
+// fd_server — the §1 network-server pattern.
+//
+// "A network server could share file descriptors with several children.
+// The server would perform security checks and open a socket descriptor to
+// the client, and then pass this descriptor to a waiting child with a
+// simple message containing the descriptor."
+//
+// The "network" is simulated with per-client files; the server (parent)
+// performs the security check (file permissions under its uid), opens the
+// descriptor, and hands the NUMBER to a waiting worker through a shared-
+// memory mailbox. Because the descriptor table is shared (PR_SFDS), the
+// number alone is enough.
+#include <cstdio>
+
+#include "api/kernel.h"
+#include "api/user_env.h"
+
+using namespace sg;
+
+namespace {
+
+constexpr int kWorkers = 3;
+constexpr int kClients = 9;
+
+// Mailbox in shared memory: a tiny queue of descriptor numbers.
+constexpr vaddr_t kOffLock = 0;
+constexpr vaddr_t kOffCount = 64;     // fds queued and not yet taken
+constexpr vaddr_t kOffServed = 68;    // total served (stats)
+constexpr vaddr_t kOffStop = 72;
+constexpr vaddr_t kOffQueue = 128;    // kClients u32 slots
+constexpr vaddr_t kOffHead = 76;
+constexpr vaddr_t kOffTail = 80;
+
+void Worker(Env& env, long arg) {
+  const vaddr_t base = static_cast<vaddr_t>(arg);
+  for (;;) {
+    int fd = -1;
+    env.SpinLock(base + kOffLock);
+    if (env.Load32(base + kOffCount) > 0) {
+      const u32 head = env.Load32(base + kOffHead);
+      fd = static_cast<int>(env.Load32(base + kOffQueue + 4ULL * (head % kClients)));
+      env.Store32(base + kOffHead, head + 1);
+      env.Store32(base + kOffCount, env.Load32(base + kOffCount) - 1);
+    }
+    env.SpinUnlock(base + kOffLock);
+    if (fd < 0) {
+      if (env.AtomicRead32(base + kOffStop) != 0) {
+        return;
+      }
+      env.Yield();
+      continue;
+    }
+    // Serve the client on the inherited descriptor number: echo a reply.
+    char req[32] = {};
+    const i64 n = env.ReadBuf(fd, std::as_writable_bytes(std::span<char>(req, sizeof(req))));
+    char reply[64];
+    const int m = std::snprintf(reply, sizeof(reply), "worker %d served: %.*s", env.Pid(),
+                                static_cast<int>(n), req);
+    env.Lseek(fd, 0, SeekWhence::kEnd);
+    env.WriteBuf(fd, std::as_bytes(std::span<const char>(reply, static_cast<size_t>(m))));
+    env.Close(fd);  // propagates: the server sees the slot freed
+    env.FetchAdd32(base + kOffServed, 1);
+  }
+}
+
+void Main(Env& env, long) {
+  const vaddr_t base = env.Mmap(kPageSize);
+  for (int w = 0; w < kWorkers; ++w) {
+    if (env.Sproc(Worker, PR_SADDR | PR_SFDS, static_cast<long>(base)) < 0) {
+      env.Exit(1);
+    }
+  }
+
+  // "Accept" clients: create their request files, security-check, open.
+  for (int cid = 0; cid < kClients; ++cid) {
+    char path[32];
+    std::snprintf(path, sizeof(path), "/client%d", cid);
+    const int fd = env.Open(path, kOpenRdwr | kOpenCreat, 0600);
+    if (fd < 0) {
+      std::printf("fd_server: accept failed: %s\n", ErrnoName(env.LastError()));
+      continue;
+    }
+    char hello[32];
+    const int n = std::snprintf(hello, sizeof(hello), "request #%d", cid);
+    env.WriteBuf(fd, std::as_bytes(std::span<const char>(hello, static_cast<size_t>(n))));
+    env.Lseek(fd, 0);
+    // Pass the descriptor number through the mailbox.
+    env.SpinLock(base + kOffLock);
+    const u32 tail = env.Load32(base + kOffTail);
+    env.Store32(base + kOffQueue + 4ULL * (tail % kClients), static_cast<u32>(fd));
+    env.Store32(base + kOffTail, tail + 1);
+    env.Store32(base + kOffCount, env.Load32(base + kOffCount) + 1);
+    env.SpinUnlock(base + kOffLock);
+  }
+
+  while (env.AtomicRead32(base + kOffServed) < kClients) {
+    env.Yield();
+  }
+  env.AtomicWrite32(base + kOffStop, 1);
+  for (int w = 0; w < kWorkers; ++w) {
+    env.WaitChild();
+  }
+
+  // Spot-check a reply.
+  const int check = env.Open("/client0", kOpenRead);
+  char buf[96] = {};
+  const i64 n = env.ReadBuf(check, std::as_writable_bytes(std::span<char>(buf, sizeof(buf) - 1)));
+  std::printf("fd_server: served %u clients with %d workers; /client0 = \"%.*s\"\n",
+              env.AtomicRead32(base + kOffServed), kWorkers, static_cast<int>(n), buf);
+  env.Exit(env.AtomicRead32(base + kOffServed) == kClients ? 0 : 1);
+}
+
+}  // namespace
+
+int main() {
+  Kernel kernel;
+  if (!kernel.Launch(Main).ok()) {
+    return 1;
+  }
+  kernel.WaitAll();
+  return 0;
+}

@@ -1,0 +1,179 @@
+// future_directions — a tour of the paper's §8 "Future Directions",
+// implemented in this repository as working extensions:
+//
+//   * PR_SETGROUPPRI  — scheduling decisions for the group as a whole
+//   * PR_UNSHARE      — stop sharing a resource (including the VM image)
+//   * PR_BLOCKGROUP / PR_UNBLKGROUP — freeze and thaw the whole group
+//   * PR_JOINGROUP    — an unrelated process joins dynamically
+//   * PR_PRIVDATA     — share part of the image, COW the rest
+//
+// plus the paging subsystem (the §6.2 "pager" reader) and file-backed
+// mappings (§7's "mapping or unmapping files").
+#include <cstdio>
+
+#include "api/kernel.h"
+#include "api/user_env.h"
+
+using namespace sg;
+
+namespace {
+
+int failures = 0;
+void Check(bool ok, const char* what) {
+  std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what);
+  failures += ok ? 0 : 1;
+}
+
+std::atomic<pid_t> founder_pid{0};
+std::atomic<bool> founder_done{false};
+std::atomic<int> mailbox_fd{-1};
+
+void Founder(Env& env, long) {
+  std::printf("-- founder pid %d --\n", env.Pid());
+  const vaddr_t a = env.Mmap(kPageSize);
+  env.Store32(a, 10);
+
+  // PR_PRIVDATA: a member sharing the image EXCEPT the data region.
+  const vaddr_t heap = env.Sbrk(0) - kPageSize;
+  env.Store32(heap, 1);
+  env.Sproc(
+      [a, heap](Env& c, long) {
+        c.Store32(heap, 2);  // lands in the private COW shadow
+        c.Store32(a, 11);    // lands in the shared image
+      },
+      PR_SADDR | PR_PRIVDATA);
+  env.WaitChild();
+  Check(env.Load32(heap) == 1 && env.Load32(a) == 11,
+        "PR_PRIVDATA: heap write stayed private, arena write was shared");
+
+  // PR_UNSHARE: a member snapshots the image and goes its own way.
+  std::atomic<u32>* snap = new std::atomic<u32>(0);
+  env.Sproc(
+      [a, snap](Env& c, long) {
+        c.Prctl(PR_UNSHARE, PR_SADDR);
+        snap->store(c.Load32(a));  // sees the value at snapshot time
+        c.Store32(a, 99);          // private from here on
+      },
+      PR_SADDR);
+  env.WaitChild();
+  Check(snap->load() == 11 && env.Load32(a) == 11,
+        "PR_UNSHARE(PR_SADDR): fork-style snapshot, later writes private");
+  delete snap;
+
+  // PR_BLOCKGROUP: freeze a member mid-run, prove it stopped, thaw it.
+  std::atomic<u64>* ticks = new std::atomic<u64>(0);
+  env.Sproc(
+      [ticks](Env& c, long) {
+        for (int i = 0; i < 100000; ++i) {
+          ticks->fetch_add(1);
+          c.Yield();
+          if (c.proc().sig_pending.load() != 0) {
+            return;
+          }
+        }
+      },
+      PR_SALL);
+  while (ticks->load() < 50) {
+    env.Yield();
+  }
+  env.Prctl(PR_BLOCKGROUP);
+  for (int i = 0; i < 100; ++i) {
+    env.Yield();  // give a non-frozen member time to tick
+  }
+  const u64 frozen_at = ticks->load();
+  for (int i = 0; i < 200; ++i) {
+    env.Yield();
+  }
+  const bool held_still = (ticks->load() == frozen_at);
+  env.Prctl(PR_UNBLKGROUP);
+  while (ticks->load() == frozen_at) {
+    env.Yield();
+  }
+  Check(held_still, "PR_BLOCKGROUP froze the member; PR_UNBLKGROUP resumed it");
+  env.proc().shaddr->ForEachMember([&](Proc& m) {
+    if (&m != &env.proc()) {
+      m.PostSignal(kSigKill);
+    }
+  });
+  env.WaitChild();
+  delete ticks;
+
+  // PR_SETGROUPPRI through the shared block.
+  Check(env.Prctl(PR_SETGROUPPRI, 3) == 1 && env.proc().priority.load() == 3,
+        "PR_SETGROUPPRI set the whole group's priority");
+
+  // Open a mailbox file, then let the joiner in.
+  mailbox_fd = env.Open("/mailbox", kOpenRdwr | kOpenCreat);
+  founder_pid = env.Pid();
+  while (!founder_done.load()) {
+    env.Yield();
+  }
+  char buf[64] = {};
+  env.Lseek(mailbox_fd.load(), 0);
+  const i64 n = env.ReadBuf(mailbox_fd.load(),
+                            std::as_writable_bytes(std::span<char>(buf, sizeof(buf) - 1)));
+  Check(n > 0 && std::string_view(buf).find("joiner") != std::string_view::npos,
+        "PR_JOINGROUP: the joiner wrote through our shared descriptor table");
+}
+
+void Joiner(Env& env, long) {
+  while (founder_pid.load() == 0) {
+    env.Yield();
+  }
+  std::printf("-- joiner pid %d --\n", env.Pid());
+  const i64 mask = env.Prctl(PR_JOINGROUP, founder_pid.load());
+  Check(mask == static_cast<i64>(PR_SALL & ~PR_SADDR),
+        "PR_JOINGROUP acquired every non-VM resource");
+  // The founder's descriptor is ours now — same NUMBER, same file.
+  env.WriteStr(mailbox_fd.load(), "hello from the joiner\n");
+  founder_done = true;
+}
+
+void PagerDemo(Env& env, long) {
+  std::printf("-- pager demo pid %d --\n", env.Pid());
+  // Working set 3x physical memory, via a shared file mapping: dirty pages
+  // migrate file -> memory -> swap -> file without losing a byte.
+  const int fd = env.Open("/big", kOpenRdwr | kOpenCreat);
+  std::vector<std::byte> zero(kPageSize);
+  for (int i = 0; i < 96; ++i) {
+    env.WriteBuf(fd, zero);
+  }
+  const vaddr_t a = env.MmapFile(fd, 0, 96 * kPageSize, /*shared=*/true);
+  for (u64 i = 0; i < 96; ++i) {
+    env.Store32(a + i * kPageSize, static_cast<u32>(7000 + i));
+  }
+  env.Munmap(a);  // writeback, possibly from swap
+  bool ok = true;
+  for (u64 i = 0; i < 96; ++i) {
+    u32 w = 0;
+    env.Lseek(fd, static_cast<i64>(i * kPageSize));
+    env.ReadBuf(fd, std::as_writable_bytes(std::span<u32>(&w, 1)));
+    ok = ok && (w == 7000 + i);
+  }
+  Check(ok, "pager: 96-page dirty working set survived a 32-frame machine");
+}
+
+}  // namespace
+
+int main() {
+  {
+    Kernel kernel;
+    (void)kernel.Launch(Founder);
+    (void)kernel.Launch(Joiner);
+    kernel.WaitAll();
+  }
+  {
+    BootParams bp;
+    bp.phys_mem_bytes = 32 * kPageSize;
+    bp.swap_pages = 512;
+    Kernel small(bp);
+    (void)small.Launch(PagerDemo);
+    small.WaitAll();
+    std::printf("  (swap activity: %llu outs, %llu ins)\n",
+                static_cast<unsigned long long>(small.swap()->outs()),
+                static_cast<unsigned long long>(small.swap()->ins()));
+  }
+  std::printf("future_directions: %s (%d failures)\n", failures == 0 ? "OK" : "MISMATCH",
+              failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+// share_everything — a guided tour of the non-VM shared resources (§4-5):
+// directory, umask, ulimit and uid propagation across a share group, plus
+// the two escape hatches — fork() (COW twin outside the group) and exec()
+// (leaves the group before overlaying the image).
+#include <cstdio>
+
+#include "api/kernel.h"
+#include "api/user_env.h"
+
+using namespace sg;
+
+namespace {
+
+void Main(Env& env, long) {
+  int failures = 0;
+  auto check = [&](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what);
+    failures += ok ? 0 : 1;
+  };
+
+  std::printf("share_everything: pid %d is about to found a share group\n", env.Pid());
+  env.Mkdir("/project");
+  env.Mkdir("/project/src");
+
+  // --- current directory (PR_SDIR) ---
+  env.Sproc([](Env& c, long) { c.Chdir("/project/src"); }, PR_SALL);
+  env.WaitChild();
+  check(env.Open("main.c", kOpenWrite | kOpenCreat) >= 0,
+        "child's chdir moved the whole group: relative create lands in /project/src");
+  check(env.kernel().Stat(env.proc(), "/project/src/main.c").ok(),
+        "…and is visible at the absolute path");
+
+  // --- umask (PR_SUMASK) ---
+  env.Umask(0);
+  env.Sproc([](Env& c, long) { c.Umask(077); }, PR_SALL);
+  env.WaitChild();
+  env.Open("/project/locked", kOpenWrite | kOpenCreat, 0666);
+  auto st = env.kernel().Stat(env.proc(), "/project/locked");
+  check(st.ok() && st.value().mode == 0600, "child's umask 077 shaped our create (0666 -> 0600)");
+
+  // --- ulimit (PR_SULIMIT) ---
+  env.Sproc([](Env& c, long) { c.UlimitSet(1024); }, PR_SALL);
+  env.WaitChild();
+  int fd = env.Open("/project/big", kOpenWrite | kOpenCreat);
+  std::vector<std::byte> blob(4096, std::byte{1});
+  check(env.WriteBuf(fd, blob) == 1024, "child's ulimit caps our write at 1024 bytes");
+
+  // --- uid (PR_SID) ---
+  env.Sproc([](Env& c, long) { c.Setuid(7); }, PR_SALL);
+  env.WaitChild();
+  check(env.Getuid() == 7, "child's setuid(7) changed the whole group's identity");
+
+  // --- fork: outside the group ---
+  std::atomic<bool> fork_outside{false};
+  env.Fork([&](Env& c, long) {
+    fork_outside = (c.proc().shaddr == nullptr);
+    c.Umask(0);  // private to the fork child; must not reach the group
+  });
+  env.WaitChild();
+  check(fork_outside.load(), "fork(2) child is NOT a group member");
+  check(env.Umask(077) == 077, "…and its umask games never reached us");
+
+  // --- exec: leaves the group ---
+  std::atomic<bool> exec_left{false};
+  env.Sproc(
+      [&](Env& c, long) {
+        Image img;
+        img.name = "newprog";
+        img.main = [&](Env& e2, long) { exec_left = (e2.proc().shaddr == nullptr); };
+        c.Exec(img);
+      },
+      PR_SALL);
+  env.WaitChild();
+  check(exec_left.load(), "exec(2) removed the member before overlaying the image");
+
+  std::printf("share_everything: %s (%d failures)\n", failures == 0 ? "OK" : "MISMATCH",
+              failures);
+  env.Exit(failures == 0 ? 0 : 1);
+}
+
+}  // namespace
+
+int main() {
+  Kernel kernel;
+  if (!kernel.Launch(Main).ok()) {
+    return 1;
+  }
+  kernel.WaitAll();
+  return 0;
+}

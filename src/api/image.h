@@ -1,0 +1,32 @@
+// Program image for exec(2)/boot: the initial text and data contents plus
+// the function that plays the role of the program's main().
+#ifndef SRC_API_IMAGE_H_
+#define SRC_API_IMAGE_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+
+namespace sg {
+
+class Env;
+
+// A user program: called on the process's thread with its environment and
+// the sproc()-style argument.
+using UserFn = std::function<void(Env&, long)>;
+
+struct Image {
+  std::string name = "a.out";
+  std::vector<std::byte> text;  // initial text bytes (may be empty)
+  std::vector<std::byte> data;  // initialized data
+  u64 extra_data_pages = 4;     // bss/heap headroom beyond `data`
+  u64 text_pages = 4;           // minimum text size in pages
+  UserFn main;                  // entry point
+};
+
+}  // namespace sg
+
+#endif  // SRC_API_IMAGE_H_

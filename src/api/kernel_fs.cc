@@ -1,0 +1,507 @@
+// Filesystem syscalls. Descriptor-table mutations follow the §6.3 protocol
+// when the caller shares PR_SFDS: single-thread through s_fupdsema, pull if
+// flagged (the double-update check), modify, publish, release — so "when
+// one of the processes in a group opens a file, the others will see the
+// file as immediately available to them".
+#include <algorithm>
+#include <vector>
+
+#include "api/kernel.h"
+#include "vm/access.h"
+
+namespace sg {
+
+Result<int> Kernel::Open(Proc& p, std::string_view path, u32 flags, mode_t mode) {
+  SyscallEnter(p);
+  ShaddrBlock* b = FdBlock(p);
+  if (b != nullptr) {
+    b->LockFileUpdate();
+    b->PullFdsIfFlagged(p);
+  }
+  Result<int> result = Errno::kEINVAL;
+  auto f = vfs_.Open(p.cwd, p.rootdir, CredOf(p), path, flags, mode, p.umask);
+  if (!f.ok()) {
+    result = f.error();
+  } else {
+    auto fd = p.fds.AllocSlot(f.value());
+    if (!fd.ok()) {
+      vfs_.files().Release(f.value());
+      result = fd.error();
+    } else {
+      result = fd.value();
+      if (b != nullptr) {
+        b->PublishFds(p);
+      }
+    }
+  }
+  if (b != nullptr) {
+    b->UnlockFileUpdate();
+  }
+  SyscallExit(p);
+  return result;
+}
+
+Status Kernel::Close(Proc& p, int fd) {
+  SyscallEnter(p);
+  ShaddrBlock* b = FdBlock(p);
+  if (b != nullptr) {
+    b->LockFileUpdate();
+    b->PullFdsIfFlagged(p);
+  }
+  Status st = Status::Ok();
+  auto f = p.fds.ClearSlot(fd);
+  if (!f.ok()) {
+    st = f.error();
+  } else {
+    vfs_.files().Release(f.value());
+    if (b != nullptr) {
+      b->PublishFds(p);
+    }
+  }
+  if (b != nullptr) {
+    b->UnlockFileUpdate();
+  }
+  SyscallExit(p);
+  return st;
+}
+
+Result<int> Kernel::Dup(Proc& p, int fd) {
+  SyscallEnter(p);
+  ShaddrBlock* b = FdBlock(p);
+  if (b != nullptr) {
+    b->LockFileUpdate();
+    b->PullFdsIfFlagged(p);
+  }
+  Result<int> result = Errno::kEBADF;
+  auto f = p.fds.Get(fd);
+  if (f.ok()) {
+    auto slot = p.fds.AllocSlot(vfs_.files().Dup(f.value()));
+    if (!slot.ok()) {
+      vfs_.files().Release(f.value());
+      result = slot.error();
+    } else {
+      result = slot.value();
+      if (b != nullptr) {
+        b->PublishFds(p);
+      }
+    }
+  }
+  if (b != nullptr) {
+    b->UnlockFileUpdate();
+  }
+  SyscallExit(p);
+  return result;
+}
+
+Result<int> Kernel::Dup2(Proc& p, int fd, int newfd) {
+  SyscallEnter(p);
+  ShaddrBlock* b = FdBlock(p);
+  if (b != nullptr) {
+    b->LockFileUpdate();
+    b->PullFdsIfFlagged(p);
+  }
+  Result<int> result = Errno::kEBADF;
+  auto f = p.fds.Get(fd);
+  if (f.ok() && p.fds.ValidFd(newfd)) {
+    if (fd == newfd) {
+      result = newfd;
+    } else {
+      auto old = p.fds.ClearSlot(newfd);
+      if (old.ok()) {
+        vfs_.files().Release(old.value());
+      }
+      SG_RETURN_IF_ERROR(p.fds.SetSlot(newfd, vfs_.files().Dup(f.value()), false));
+      result = newfd;
+      if (b != nullptr) {
+        b->PublishFds(p);
+      }
+    }
+  }
+  if (b != nullptr) {
+    b->UnlockFileUpdate();
+  }
+  SyscallExit(p);
+  return result;
+}
+
+Status Kernel::SetCloexec(Proc& p, int fd, bool on) {
+  SyscallEnter(p);
+  ShaddrBlock* b = FdBlock(p);
+  if (b != nullptr) {
+    b->LockFileUpdate();
+    b->PullFdsIfFlagged(p);
+  }
+  Status st = Status::Ok();
+  if (!p.fds.ValidFd(fd) || !p.fds.Slot(fd).used()) {
+    st = Errno::kEBADF;
+  } else {
+    p.fds.Slot(fd).close_on_exec = on;
+    if (b != nullptr) {
+      b->PublishFds(p);  // s_pofile mirrors the flag bytes too
+    }
+  }
+  if (b != nullptr) {
+    b->UnlockFileUpdate();
+  }
+  SyscallExit(p);
+  return st;
+}
+
+Result<bool> Kernel::GetCloexec(Proc& p, int fd) {
+  SyscallEnter(p);
+  Result<bool> r = Errno::kEBADF;
+  if (p.fds.ValidFd(fd) && p.fds.Slot(fd).used()) {
+    r = p.fds.Slot(fd).close_on_exec;
+  }
+  SyscallExit(p);
+  return r;
+}
+
+Result<std::pair<int, int>> Kernel::MakePipe(Proc& p) {
+  SyscallEnter(p);
+  ShaddrBlock* b = FdBlock(p);
+  if (b != nullptr) {
+    b->LockFileUpdate();
+    b->PullFdsIfFlagged(p);
+  }
+  Result<std::pair<int, int>> result = Errno::kENFILE;
+  auto made = vfs_.MakePipe();
+  if (!made.ok()) {
+    result = made.error();
+  } else {
+    auto [rd, wr] = made.value();
+    auto rfd = p.fds.AllocSlot(rd);
+    auto wfd = rfd.ok() ? p.fds.AllocSlot(wr) : Result<int>(Errno::kEMFILE);
+    if (!rfd.ok() || !wfd.ok()) {
+      if (rfd.ok()) {
+        p.fds.ClearSlot(rfd.value()).value();
+      }
+      vfs_.files().Release(rd);
+      vfs_.files().Release(wr);
+      result = Errno::kEMFILE;
+    } else {
+      result = std::make_pair(rfd.value(), wfd.value());
+      if (b != nullptr) {
+        b->PublishFds(p);
+      }
+    }
+  }
+  if (b != nullptr) {
+    b->UnlockFileUpdate();
+  }
+  SyscallExit(p);
+  return result;
+}
+
+// ----- I/O -----
+
+Result<u64> Kernel::Read(Proc& p, int fd, vaddr_t ubuf, u64 len) {
+  SyscallEnter(p);
+  auto fr = p.fds.Get(fd);
+  if (!fr.ok()) {
+    SyscallExit(p);
+    return fr.error();
+  }
+  OpenFile* f = fr.value();
+  std::vector<std::byte> bounce(std::min<u64>(len, u64{64} << 10));
+  u64 total = 0;
+  Status err = Status::Ok();
+  while (total < len) {
+    const u64 chunk = std::min<u64>(len - total, bounce.size());
+    auto r = vfs_.ReadFile(*f, bounce.data(), chunk);
+    if (!r.ok()) {
+      err = r.status();
+      break;
+    }
+    if (r.value() == 0) {
+      break;  // EOF
+    }
+    Status cs = CopyOut(p.as, ubuf + total, bounce.data(), r.value());
+    if (!cs.ok()) {
+      err = cs;
+      break;
+    }
+    total += r.value();
+    if (r.value() < chunk || f->inode()->type() == InodeType::kPipe) {
+      break;  // short read; pipes return what is available
+    }
+  }
+  SyscallExit(p);
+  if (total == 0 && !err.ok()) {
+    return err.error();
+  }
+  return total;
+}
+
+Result<u64> Kernel::Write(Proc& p, int fd, vaddr_t ubuf, u64 len) {
+  SyscallEnter(p);
+  auto fr = p.fds.Get(fd);
+  if (!fr.ok()) {
+    SyscallExit(p);
+    return fr.error();
+  }
+  OpenFile* f = fr.value();
+  std::vector<std::byte> bounce(std::min<u64>(len, u64{64} << 10));
+  u64 total = 0;
+  Status err = Status::Ok();
+  while (total < len) {
+    const u64 chunk = std::min<u64>(len - total, bounce.size());
+    Status cs = CopyIn(p.as, bounce.data(), ubuf + total, chunk);
+    if (!cs.ok()) {
+      err = cs;
+      break;
+    }
+    auto w = vfs_.WriteFile(*f, bounce.data(), chunk, p.ulimit);
+    if (!w.ok()) {
+      err = w.status();
+      break;
+    }
+    total += w.value();
+    if (w.value() < chunk) {
+      break;
+    }
+  }
+  if (err.error() == Errno::kEPIPE) {
+    p.PostSignal(kSigPipe);  // classic: EPIPE comes with SIGPIPE
+  }
+  SyscallExit(p);
+  if (total == 0 && !err.ok()) {
+    return err.error();
+  }
+  return total;
+}
+
+Result<u64> Kernel::ReadK(Proc& p, int fd, std::span<std::byte> out) {
+  SyscallEnter(p);
+  auto fr = p.fds.Get(fd);
+  Result<u64> r = fr.ok() ? vfs_.ReadFile(*fr.value(), out.data(), out.size())
+                          : Result<u64>(fr.error());
+  SyscallExit(p);
+  return r;
+}
+
+Result<u64> Kernel::WriteK(Proc& p, int fd, std::span<const std::byte> in) {
+  SyscallEnter(p);
+  auto fr = p.fds.Get(fd);
+  Result<u64> r = fr.ok() ? vfs_.WriteFile(*fr.value(), in.data(), in.size(), p.ulimit)
+                          : Result<u64>(fr.error());
+  if (!r.ok() && r.error() == Errno::kEPIPE) {
+    p.PostSignal(kSigPipe);
+  }
+  SyscallExit(p);
+  return r;
+}
+
+Result<u64> Kernel::Lseek(Proc& p, int fd, i64 off, SeekWhence whence) {
+  SyscallEnter(p);
+  auto fr = p.fds.Get(fd);
+  Result<u64> r = fr.ok() ? vfs_.Seek(*fr.value(), off, whence) : Result<u64>(fr.error());
+  SyscallExit(p);
+  return r;
+}
+
+// ----- namespace ops -----
+
+Status Kernel::Mkdir(Proc& p, std::string_view path, mode_t mode) {
+  SyscallEnter(p);
+  Status st = vfs_.Mkdir(p.cwd, p.rootdir, CredOf(p), path, mode, p.umask);
+  SyscallExit(p);
+  return st;
+}
+
+Status Kernel::Link(Proc& p, std::string_view existing, std::string_view newpath) {
+  SyscallEnter(p);
+  Status st = vfs_.Link(p.cwd, p.rootdir, CredOf(p), existing, newpath);
+  SyscallExit(p);
+  return st;
+}
+
+Status Kernel::Unlink(Proc& p, std::string_view path) {
+  SyscallEnter(p);
+  Status st = vfs_.Unlink(p.cwd, p.rootdir, CredOf(p), path);
+  SyscallExit(p);
+  return st;
+}
+
+Status Kernel::Rmdir(Proc& p, std::string_view path) {
+  SyscallEnter(p);
+  Status st = vfs_.Rmdir(p.cwd, p.rootdir, CredOf(p), path);
+  SyscallExit(p);
+  return st;
+}
+
+namespace {
+
+// Resolves `path` to a directory inode with search permission, returning a
+// counted ref.
+Result<Inode*> ResolveDir(Vfs& vfs, Proc& p, Cred cred, std::string_view path) {
+  auto ip = vfs.Namei(p.cwd, p.rootdir, cred, path);
+  if (!ip.ok()) {
+    return ip.error();
+  }
+  if (ip.value()->type() != InodeType::kDirectory) {
+    vfs.inodes().Iput(ip.value());
+    return Errno::kENOTDIR;
+  }
+  if (!Permits(*ip.value(), cred.uid, cred.gid, Access::kExec)) {
+    vfs.inodes().Iput(ip.value());
+    return Errno::kEACCES;
+  }
+  return ip.value();
+}
+
+}  // namespace
+
+Status Kernel::Chdir(Proc& p, std::string_view path) {
+  SyscallEnter(p);
+  auto dir = ResolveDir(vfs_, p, CredOf(p), path);
+  Status st = Status::Ok();
+  if (!dir.ok()) {
+    st = dir.status();
+  } else if (p.shaddr != nullptr && (p.p_shmask & PR_SDIR) != 0) {
+    // "the ability to change the working directory ... of an entire set of
+    // processes at once" (§4).
+    p.shaddr->UpdateDir(p, dir.value(), nullptr);
+  } else {
+    vfs_.inodes().Iput(p.cwd);
+    p.cwd = dir.value();
+  }
+  SyscallExit(p);
+  return st;
+}
+
+Status Kernel::Chroot(Proc& p, std::string_view path) {
+  SyscallEnter(p);
+  Status st = Status::Ok();
+  if (p.uid != 0) {
+    st = Errno::kEPERM;
+  } else {
+    auto dir = ResolveDir(vfs_, p, CredOf(p), path);
+    if (!dir.ok()) {
+      st = dir.status();
+    } else if (p.shaddr != nullptr && (p.p_shmask & PR_SDIR) != 0) {
+      p.shaddr->UpdateDir(p, nullptr, dir.value());
+    } else {
+      vfs_.inodes().Iput(p.rootdir);
+      p.rootdir = dir.value();
+    }
+  }
+  SyscallExit(p);
+  return st;
+}
+
+namespace {
+StatResult FillStat(InodeTable& inodes, Inode* ip) {
+  StatResult s;
+  s.ino = ip->ino();
+  s.type = ip->type();
+  s.mode = ip->mode();
+  s.uid = ip->uid();
+  s.gid = ip->gid();
+  s.size = ip->Size();
+  s.nlink = ip->nlink;
+  (void)inodes;
+  return s;
+}
+}  // namespace
+
+Result<StatResult> Kernel::Stat(Proc& p, std::string_view path) {
+  SyscallEnter(p);
+  auto ip = vfs_.Namei(p.cwd, p.rootdir, CredOf(p), path);
+  Result<StatResult> r = Errno::kENOENT;
+  if (!ip.ok()) {
+    r = ip.error();
+  } else {
+    r = FillStat(vfs_.inodes(), ip.value());
+    vfs_.inodes().Iput(ip.value());
+  }
+  SyscallExit(p);
+  return r;
+}
+
+Result<StatResult> Kernel::Fstat(Proc& p, int fd) {
+  SyscallEnter(p);
+  auto fr = p.fds.Get(fd);
+  Result<StatResult> r =
+      fr.ok() ? Result<StatResult>(FillStat(vfs_.inodes(), fr.value()->inode()))
+              : Result<StatResult>(fr.error());
+  SyscallExit(p);
+  return r;
+}
+
+Result<std::string> Kernel::Getcwd(Proc& p) {
+  SyscallEnter(p);
+  Result<std::string> r = Errno::kENOENT;
+  {
+    InodeTable& inodes = vfs_.inodes();
+    Inode* at = inodes.Iget(p.cwd);
+    std::string path;
+    bool ok = true;
+    while (at != p.rootdir && at->parent != at) {
+      Inode* parent = inodes.Iget(at->parent);
+      // Find our name in the parent (in-memory fs: a scan is fine).
+      std::string name;
+      for (const std::string& entry : parent->ListEntries()) {
+        auto child = parent->Lookup(entry);
+        if (child.ok() && child.value() == at) {
+          name = entry;
+          break;
+        }
+      }
+      if (name.empty()) {
+        ok = false;  // disconnected (cwd was unlinked)
+        inodes.Iput(parent);
+        break;
+      }
+      path.insert(0, "/" + name);
+      inodes.Iput(at);
+      at = parent;
+    }
+    inodes.Iput(at);
+    if (ok) {
+      r = path.empty() ? std::string("/") : path;
+    }
+  }
+  SyscallExit(p);
+  return r;
+}
+
+Result<std::vector<std::string>> Kernel::ListDir(Proc& p, std::string_view path) {
+  SyscallEnter(p);
+  Result<std::vector<std::string>> r = Errno::kENOENT;
+  auto ip = vfs_.Namei(p.cwd, p.rootdir, CredOf(p), path);
+  if (!ip.ok()) {
+    r = ip.error();
+  } else {
+    if (ip.value()->type() != InodeType::kDirectory) {
+      r = Errno::kENOTDIR;
+    } else if (!Permits(*ip.value(), p.uid, p.gid, Access::kRead)) {
+      r = Errno::kEACCES;
+    } else {
+      r = ip.value()->ListEntries();  // already sorted (std::map order)
+    }
+    vfs_.inodes().Iput(ip.value());
+  }
+  SyscallExit(p);
+  return r;
+}
+
+Status Kernel::Chmod(Proc& p, std::string_view path, mode_t mode) {
+  SyscallEnter(p);
+  auto ip = vfs_.Namei(p.cwd, p.rootdir, CredOf(p), path);
+  Status st = Status::Ok();
+  if (!ip.ok()) {
+    st = ip.status();
+  } else {
+    if (p.uid != 0 && p.uid != ip.value()->uid()) {
+      st = Errno::kEPERM;
+    } else {
+      ip.value()->set_mode(mode);
+    }
+    vfs_.inodes().Iput(ip.value());
+  }
+  SyscallExit(p);
+  return st;
+}
+
+}  // namespace sg

@@ -1,0 +1,479 @@
+// Process creation and the paper's sproc(2)/prctl(2) interface (§5), plus
+// the identity/limit syscalls whose values share groups can propagate.
+#include "api/kernel.h"
+#include "api/user_env.h"
+#include "base/check.h"
+#include "vm/access.h"
+
+namespace sg {
+
+void Kernel::CreatePrda(AddressSpace& as, PhysMem& mem) {
+  // §5.1: "a small amount of memory (typically less than a page in size)
+  // which records data which must remain private to the process, and is
+  // always at the same fixed virtual location in every process, allowing
+  // shared code to access private data."
+  auto region = Region::Alloc(mem, RegionType::kPrda, 1);
+  as.AttachPrivate(std::make_unique<Pregion>(std::move(region), kPrdaBase, kProtRw));
+}
+
+Status Kernel::AllocStack(Proc& p, bool shared_stack) {
+  const u64 pages = p.stack_max_pages;
+  if (shared_stack) {
+    SG_CHECK(p.shaddr != nullptr);
+    SharedSpace& ss = p.shaddr->space();
+    // §6.2: sproc "allocates a new stack segment in a non-overlapping
+    // region of the parent's virtual address space"; the list change is a
+    // VM-image update.
+    UpdateGuard g(ss.lock());
+    auto base = ss.va().AllocDown(pages);
+    if (!base.ok()) {
+      return base.error();
+    }
+    auto pr = std::make_unique<Pregion>(Region::Alloc(mem_, RegionType::kStack, pages),
+                                        base.value(), kProtRw);
+    pr->stack_owner = p.pid;
+    ss.pregions().push_back(std::move(pr));
+    p.stack_base = base.value();
+    return Status::Ok();
+  }
+  auto base = p.as.va().AllocDown(pages);
+  if (!base.ok()) {
+    return base.error();
+  }
+  auto pr = std::make_unique<Pregion>(Region::Alloc(mem_, RegionType::kStack, pages),
+                                      base.value(), kProtRw);
+  pr->stack_owner = p.pid;
+  p.as.AttachPrivate(std::move(pr));
+  p.stack_base = base.value();
+  return Status::Ok();
+}
+
+Status Kernel::BuildImage(Proc& p, const Image& img) {
+  const u64 text_pages = std::max<u64>(std::max<u64>(img.text_pages, 1),
+                                       PagesFor(img.text.size()));
+  auto text = Region::Alloc(mem_, RegionType::kText, text_pages);
+  if (!img.text.empty()) {
+    SG_RETURN_IF_ERROR(text->FillFrom(0, img.text));
+  }
+  p.as.AttachPrivate(std::make_unique<Pregion>(std::move(text), kTextBase, kProtRx));
+
+  const u64 data_pages =
+      std::max<u64>(PagesFor(img.data.size()) + img.extra_data_pages, params_.initial_data_pages);
+  auto data = Region::Alloc(mem_, RegionType::kData, data_pages);
+  if (!img.data.empty()) {
+    SG_RETURN_IF_ERROR(data->FillFrom(0, img.data));
+  }
+  p.as.AttachPrivate(std::make_unique<Pregion>(std::move(data), kDataBase, kProtRw));
+
+  CreatePrda(p.as, mem_);
+  return AllocStack(p, /*shared_stack=*/false);
+}
+
+void Kernel::InheritUArea(Proc& parent, Proc& child) {
+  child.uid = parent.uid;
+  child.gid = parent.gid;
+  child.umask = parent.umask;
+  child.ulimit = parent.ulimit;
+  child.stack_max_pages = parent.stack_max_pages;  // PR_SETSTACKSIZE inherits (§5.2)
+  child.priority.store(parent.priority.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  child.cwd = vfs_.inodes().Iget(parent.cwd);
+  child.rootdir = vfs_.inodes().Iget(parent.rootdir);
+  for (int fd = 0; fd < FdTable::kMaxFds; ++fd) {
+    const FdEntry& e = parent.fds.Slot(fd);
+    if (e.used()) {
+      SG_CHECK(child.fds.SetSlot(fd, vfs_.files().Dup(e.file), e.close_on_exec).ok());
+    }
+  }
+  std::lock_guard<std::mutex> l(parent.sig_mu);
+  child.sig_actions = parent.sig_actions;
+  child.sig_blocked.store(parent.sig_blocked.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+}
+
+namespace {
+
+// Unwinds a half-built child that never ran.
+void AbortEmbryo(Kernel& k, Proc* c) {
+  for (int fd = 0; fd < FdTable::kMaxFds; ++fd) {
+    auto f = c->fds.ClearSlot(fd);
+    if (f.ok()) {
+      k.vfs().files().Release(f.value());
+    }
+  }
+  if (c->cwd != nullptr) {
+    k.vfs().inodes().Iput(c->cwd);
+  }
+  if (c->rootdir != nullptr) {
+    k.vfs().inodes().Iput(c->rootdir);
+  }
+  c->as.DetachAllPrivate();
+  k.procs().Free(c);
+}
+
+}  // namespace
+
+Result<pid_t> Kernel::Fork(Proc& p, UserFn entry, long arg) {
+  SyscallEnter(p);
+  auto alloc = procs_.Alloc();
+  if (!alloc.ok()) {
+    SyscallExit(p);
+    return alloc.error();
+  }
+  Proc* c = alloc.value();
+  c->ppid.store(p.pid, std::memory_order_relaxed);
+  InheritUArea(p, *c);
+  // §5.1: "A new process may be created outside the share group through the
+  // fork(2) system call" — the child gets a copy-on-write image (including
+  // any group-visible stacks) and is NOT a member.
+  Status st = DuplicateForFork(p.as, c->as);
+  if (!st.ok()) {
+    AbortEmbryo(*this, c);
+    SyscallExit(p);
+    return st.error();
+  }
+  c->stack_base = p.stack_base;  // the child runs on its COW copy of our stack
+  StartProcThread(c, std::move(entry), arg);
+  SyscallExit(p);
+  return c->pid;
+}
+
+Result<pid_t> Kernel::Sproc(Proc& p, UserFn entry, u32 shmask, long arg) {
+  SyscallEnter(p);
+  const bool priv_data = (shmask & PR_PRIVDATA) != 0;  // §8 extension
+  shmask &= PR_SALL;
+  // §5.1 strict inheritance: "a process can only cause a child to share
+  // those resources that the parent can share as well".
+  if (p.shaddr != nullptr) {
+    shmask &= p.p_shmask;
+  }
+  // "The first use of the sproc() call creates a share group."
+  if (p.shaddr == nullptr) {
+    auto block = std::make_unique<ShaddrBlock>(p, cpus_, vfs_);
+    std::lock_guard<std::mutex> l(blocks_mu_);
+    blocks_.emplace(block.get(), std::move(block));
+  }
+  ShaddrBlock* block = p.shaddr;
+
+  auto alloc = procs_.Alloc();
+  if (!alloc.ok()) {
+    SyscallExit(p);
+    return alloc.error();
+  }
+  Proc* c = alloc.value();
+  c->ppid.store(p.pid, std::memory_order_relaxed);
+  InheritUArea(p, *c);
+
+  Status st = Status::Ok();
+  if ((shmask & PR_SADDR) != 0) {
+    // Shared image: the child sees the group's pregion list; only its PRDA
+    // is private, and it gets a fresh group-visible stack.
+    block->AddMember(*c, shmask);
+    CreatePrda(c->as, mem_);
+    st = AllocStack(*c, /*shared_stack=*/true);
+    if (st.ok() && priv_data) {
+      // §8: "share part of the VM image and have copy-on-write access to
+      // other parts" — the data region becomes a private COW shadow.
+      st = block->ShadowDataPrivately(*c);
+    }
+  } else {
+    // "If the virtual address space is not shared, the new process gets a
+    // copy-on-write image of the share group virtual address space. In this
+    // case, the new stack is not visible in the share group."
+    st = DuplicateForFork(p.as, c->as);
+    if (st.ok()) {
+      st = AllocStack(*c, /*shared_stack=*/false);
+    }
+    if (st.ok()) {
+      block->AddMember(*c, shmask);
+    }
+  }
+  if (!st.ok()) {
+    if (c->shaddr != nullptr && block->RemoveMember(*c)) {
+      std::lock_guard<std::mutex> l(blocks_mu_);
+      blocks_.erase(block);
+    }
+    AbortEmbryo(*this, c);
+    SyscallExit(p);
+    return st.error();
+  }
+
+  // The child's u-area was copied from the parent outside the update locks;
+  // flag everything it shares so its first kernel entry pulls fresh copies.
+  u32 bits = 0;
+  if ((shmask & PR_SFDS) != 0) {
+    bits |= kPfSyncFds;
+  }
+  if ((shmask & PR_SDIR) != 0) {
+    bits |= kPfSyncDir;
+  }
+  if ((shmask & PR_SID) != 0) {
+    bits |= kPfSyncId;
+  }
+  if ((shmask & PR_SUMASK) != 0) {
+    bits |= kPfSyncUmask;
+  }
+  if ((shmask & PR_SULIMIT) != 0) {
+    bits |= kPfSyncUlimit;
+  }
+  c->p_flag.fetch_or(bits, std::memory_order_acq_rel);
+
+  StartProcThread(c, std::move(entry), arg);
+  SyscallExit(p);
+  return c->pid;
+}
+
+Result<i64> Kernel::Prctl(Proc& p, u32 option, i64 value) {
+  SyscallEnter(p);
+  Result<i64> r = Errno::kEINVAL;
+  switch (option) {
+    case PR_MAXPROCS:
+      r = static_cast<i64>(procs_.max_procs());
+      break;
+    case PR_MAXPPROCS:
+      // "the number of processes that the system can run in parallel".
+      r = static_cast<i64>(cpus_.ncpus());
+      break;
+    case PR_SETSTACKSIZE: {
+      if (value <= 0) {
+        break;
+      }
+      u64 pages = PagesFor(static_cast<u64>(value));
+      if (pages > kMaxStackMaxPages) {
+        pages = kMaxStackMaxPages;
+      }
+      p.stack_max_pages = pages;  // layout of future sproc stacks (§5.2)
+      r = static_cast<i64>(pages * kPageSize);
+      break;
+    }
+    case PR_GETSTACKSIZE:
+      r = static_cast<i64>(p.stack_max_pages * kPageSize);
+      break;
+    case PR_SETGROUPPRI: {
+      // §8 extension: group-wide scheduling control through the share block.
+      if (p.shaddr == nullptr) {
+        break;
+      }
+      i64 members = 0;
+      p.shaddr->ForEachMember([&](Proc& m) {
+        m.priority.store(static_cast<int>(value), std::memory_order_relaxed);
+        ++members;
+      });
+      r = members;
+      break;
+    }
+    case PR_UNSHARE: {
+      // §8 extension: stop sharing the resources in `value`.
+      if (p.shaddr == nullptr) {
+        break;
+      }
+      const u32 drop = static_cast<u32>(value) & PR_SALL & p.p_shmask;
+      Status st = Status::Ok();
+      if ((drop & PR_SADDR) != 0) {
+        st = p.shaddr->UnshareVm(p);  // clears PR_SADDR itself
+      }
+      if (st.ok()) {
+        p.p_shmask &= ~(drop & ~PR_SADDR);
+        // Stale "resynchronize" hints for dropped resources are void now.
+        u32 clear = 0;
+        if ((drop & PR_SFDS) != 0) {
+          clear |= kPfSyncFds;
+        }
+        if ((drop & PR_SDIR) != 0) {
+          clear |= kPfSyncDir;
+        }
+        if ((drop & PR_SID) != 0) {
+          clear |= kPfSyncId;
+        }
+        if ((drop & PR_SUMASK) != 0) {
+          clear |= kPfSyncUmask;
+        }
+        if ((drop & PR_SULIMIT) != 0) {
+          clear |= kPfSyncUlimit;
+        }
+        p.p_flag.fetch_and(~clear, std::memory_order_acq_rel);
+        r = static_cast<i64>(p.p_shmask);
+      } else {
+        r = st.error();
+      }
+      break;
+    }
+    case PR_BLOCKGROUP: {
+      // §8 extension: suspend every OTHER member at its next kernel entry.
+      if (p.shaddr == nullptr) {
+        break;
+      }
+      i64 affected = 0;
+      p.shaddr->ForEachMember([&](Proc& m) {
+        if (&m != &p) {
+          m.suspended.store(true, std::memory_order_release);
+          ++affected;
+        }
+      });
+      r = affected;
+      break;
+    }
+    case PR_UNBLKGROUP: {
+      if (p.shaddr == nullptr) {
+        break;
+      }
+      i64 affected = 0;
+      p.shaddr->ForEachMember([&](Proc& m) {
+        if (&m != &p && m.suspended.exchange(false, std::memory_order_acq_rel)) {
+          ++affected;
+          // Serialize with a parker mid-wait, then wake it.
+          {
+            std::lock_guard<std::mutex> l(m.wait_mu);
+          }
+          m.wait_cv.notify_all();
+        }
+      });
+      r = affected;
+      break;
+    }
+    case PR_JOINGROUP: {
+      // §8 extension: join `value`'s group for the non-VM resources.
+      if (p.shaddr != nullptr) {
+        break;  // already in a group
+      }
+      Result<i64> join_result = Errno::kESRCH;
+      {
+        std::lock_guard<std::mutex> bl(blocks_mu_);
+        procs_.WithProc(static_cast<pid_t>(value), [&](Proc& t) {
+          if (p.uid != 0 && p.uid != t.uid) {
+            join_result = Errno::kEPERM;
+            return;
+          }
+          ShaddrBlock* b = t.shaddr;
+          if (b == nullptr || blocks_.find(b) == blocks_.end()) {
+            return;  // target not in a (live) group
+          }
+          constexpr u32 kJoinMask = PR_SALL & ~PR_SADDR;
+          if (!b->TryAddMember(p, kJoinMask)) {
+            return;  // the group drained under us
+          }
+          join_result = static_cast<i64>(kJoinMask);
+        });
+      }
+      if (join_result.ok()) {
+        // Pull every master copy at this very entry's tail: flag ourselves.
+        p.p_flag.fetch_or(kPfSyncAny, std::memory_order_acq_rel);
+        p.shaddr->SyncOnKernelEntry(p);
+      }
+      r = join_result;
+      break;
+    }
+    default:
+      break;
+  }
+  SyscallExit(p);
+  return r;
+}
+
+Status Kernel::Exec(Proc& p, const Image& img, long arg) {
+  SyscallEnter(p);
+  if (!img.main) {
+    SyscallExit(p);
+    return Errno::kEINVAL;
+  }
+  // §5.1: "use of the exec(2) system call removes the process from the
+  // share group before overlaying the new process image, thus insuring a
+  // secure environment for the new program image."
+  if (p.shaddr != nullptr) {
+    ShaddrBlock* b = p.shaddr;
+    if (b->RemoveMember(p)) {
+      std::lock_guard<std::mutex> l(blocks_mu_);
+      blocks_.erase(b);
+    }
+  }
+  // Close close-on-exec descriptors (ours only; we are no longer sharing).
+  for (int fd = 0; fd < FdTable::kMaxFds; ++fd) {
+    if (p.fds.Slot(fd).used() && p.fds.Slot(fd).close_on_exec) {
+      vfs_.files().Release(p.fds.ClearSlot(fd).value());
+    }
+  }
+  // Overlay the image.
+  p.as.DetachAllPrivate();
+  p.as.ResetVa();
+  Status st = BuildImage(p, img);
+  if (!st.ok()) {
+    // The old image is gone; a real kernel kills the process here.
+    throw ProcTerminated{0, kSigKill};
+  }
+  // Caught signals revert to default across exec.
+  {
+    std::lock_guard<std::mutex> l(p.sig_mu);
+    for (SigAction& a : p.sig_actions) {
+      if (a.disp == SigDisp::kHandler) {
+        a = SigAction{};
+      }
+    }
+  }
+  Env env(*this, p);
+  img.main(env, arg);
+  throw ProcTerminated{0, 0};  // the new image's main returned
+}
+
+// ----- identity / limits -----
+
+Status Kernel::Setuid(Proc& p, uid_t uid) {
+  SyscallEnter(p);
+  Status st = Status::Ok();
+  if (p.uid != 0 && uid != p.uid) {
+    st = Errno::kEPERM;
+  } else if (p.shaddr != nullptr && (p.p_shmask & PR_SID) != 0) {
+    p.shaddr->UpdateIds(p, &uid, nullptr);
+  } else {
+    p.uid = uid;
+  }
+  SyscallExit(p);
+  return st;
+}
+
+Status Kernel::Setgid(Proc& p, gid_t gid) {
+  SyscallEnter(p);
+  Status st = Status::Ok();
+  if (p.uid != 0 && gid != p.gid) {
+    st = Errno::kEPERM;
+  } else if (p.shaddr != nullptr && (p.p_shmask & PR_SID) != 0) {
+    p.shaddr->UpdateIds(p, nullptr, &gid);
+  } else {
+    p.gid = gid;
+  }
+  SyscallExit(p);
+  return st;
+}
+
+Result<mode_t> Kernel::Umask(Proc& p, mode_t mask) {
+  SyscallEnter(p);
+  const mode_t old = p.umask;
+  if (p.shaddr != nullptr && (p.p_shmask & PR_SUMASK) != 0) {
+    p.shaddr->UpdateUmask(p, mask);
+  } else {
+    p.umask = static_cast<mode_t>(mask & kModeAll);
+  }
+  SyscallExit(p);
+  return old;
+}
+
+Result<u64> Kernel::UlimitGet(Proc& p) {
+  SyscallEnter(p);
+  const u64 v = p.ulimit;
+  SyscallExit(p);
+  return v;
+}
+
+Status Kernel::UlimitSet(Proc& p, u64 bytes) {
+  SyscallEnter(p);
+  Status st = Status::Ok();
+  if (bytes > p.ulimit && p.uid != 0) {
+    st = Errno::kEPERM;  // only the superuser may raise the limit
+  } else if (p.shaddr != nullptr && (p.p_shmask & PR_SULIMIT) != 0) {
+    p.shaddr->UpdateUlimit(p, bytes);
+  } else {
+    p.ulimit = bytes;
+  }
+  SyscallExit(p);
+  return st;
+}
+
+}  // namespace sg

@@ -1,0 +1,18 @@
+#include "api/user_env.h"
+
+#include "base/log.h"
+#include "proc/deliver.h"
+
+namespace sg {
+
+void Env::MemoryFault(Errno e) {
+  SG_LOG_DEBUG("pid %d: memory fault (%s)", static_cast<int>(p_.pid), ErrnoName(e));
+  p_.PostSignal(kSigSegv);
+  DeliverPendingSignals(p_);  // default disposition terminates
+  // A handler may catch SIGSEGV; classic semantics would restart the
+  // faulting instruction, which a hosted simulation cannot do — treat a
+  // caught fault as fatal anyway.
+  throw ProcTerminated{0, kSigSegv};
+}
+
+}  // namespace sg

@@ -1,0 +1,37 @@
+// Invariant checking. SG_CHECK fires in all build types: the simulated kernel
+// must never continue past a broken invariant (a real kernel would panic).
+#ifndef SRC_BASE_CHECK_H_
+#define SRC_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sg {
+
+[[noreturn]] inline void PanicAt(const char* file, int line, const char* what) {
+  std::fprintf(stderr, "kernel panic: %s:%d: %s\n", file, line, what);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace sg
+
+#define SG_CHECK(cond)                                \
+  do {                                                \
+    if (!(cond)) {                                    \
+      ::sg::PanicAt(__FILE__, __LINE__, "CHECK failed: " #cond); \
+    }                                                 \
+  } while (0)
+
+#define SG_PANIC(msg) ::sg::PanicAt(__FILE__, __LINE__, msg)
+
+// Debug-only assertion for hot paths.
+#ifdef NDEBUG
+#define SG_DCHECK(cond) \
+  do {                  \
+  } while (0)
+#else
+#define SG_DCHECK(cond) SG_CHECK(cond)
+#endif
+
+#endif  // SRC_BASE_CHECK_H_

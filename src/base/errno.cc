@@ -1,0 +1,71 @@
+#include "base/errno.h"
+
+namespace sg {
+
+const char* ErrnoName(Errno e) {
+  switch (e) {
+    case Errno::kOk: return "OK";
+    case Errno::kEPERM: return "EPERM";
+    case Errno::kENOENT: return "ENOENT";
+    case Errno::kESRCH: return "ESRCH";
+    case Errno::kEINTR: return "EINTR";
+    case Errno::kEIO: return "EIO";
+    case Errno::kE2BIG: return "E2BIG";
+    case Errno::kEBADF: return "EBADF";
+    case Errno::kECHILD: return "ECHILD";
+    case Errno::kEAGAIN: return "EAGAIN";
+    case Errno::kENOMEM: return "ENOMEM";
+    case Errno::kEACCES: return "EACCES";
+    case Errno::kEFAULT: return "EFAULT";
+    case Errno::kEEXIST: return "EEXIST";
+    case Errno::kENOTDIR: return "ENOTDIR";
+    case Errno::kEISDIR: return "EISDIR";
+    case Errno::kEINVAL: return "EINVAL";
+    case Errno::kENFILE: return "ENFILE";
+    case Errno::kEMFILE: return "EMFILE";
+    case Errno::kEFBIG: return "EFBIG";
+    case Errno::kENOSPC: return "ENOSPC";
+    case Errno::kESPIPE: return "ESPIPE";
+    case Errno::kEPIPE: return "EPIPE";
+    case Errno::kENAMETOOLONG: return "ENAMETOOLONG";
+    case Errno::kENOTEMPTY: return "ENOTEMPTY";
+    case Errno::kEIDRM: return "EIDRM";
+    case Errno::kENOSYS: return "ENOSYS";
+  }
+  return "E???";
+}
+
+const char* ErrnoMessage(Errno e) {
+  switch (e) {
+    case Errno::kOk: return "success";
+    case Errno::kEPERM: return "operation not permitted";
+    case Errno::kENOENT: return "no such file or directory";
+    case Errno::kESRCH: return "no such process";
+    case Errno::kEINTR: return "interrupted system call";
+    case Errno::kEIO: return "I/O error";
+    case Errno::kE2BIG: return "argument list too long";
+    case Errno::kEBADF: return "bad file descriptor";
+    case Errno::kECHILD: return "no child processes";
+    case Errno::kEAGAIN: return "resource temporarily unavailable";
+    case Errno::kENOMEM: return "out of memory";
+    case Errno::kEACCES: return "permission denied";
+    case Errno::kEFAULT: return "bad address";
+    case Errno::kEEXIST: return "file exists";
+    case Errno::kENOTDIR: return "not a directory";
+    case Errno::kEISDIR: return "is a directory";
+    case Errno::kEINVAL: return "invalid argument";
+    case Errno::kENFILE: return "system file table overflow";
+    case Errno::kEMFILE: return "too many open files";
+    case Errno::kEFBIG: return "file too large";
+    case Errno::kENOSPC: return "no space left on device";
+    case Errno::kESPIPE: return "illegal seek";
+    case Errno::kEPIPE: return "broken pipe";
+    case Errno::kENAMETOOLONG: return "file name too long";
+    case Errno::kENOTEMPTY: return "directory not empty";
+    case Errno::kEIDRM: return "identifier removed";
+    case Errno::kENOSYS: return "function not implemented";
+  }
+  return "unknown error";
+}
+
+}  // namespace sg

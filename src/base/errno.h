@@ -1,0 +1,48 @@
+// UNIX-style error numbers returned by the simulated kernel.
+//
+// The subset mirrors the System V.3 errno values the paper's interfaces can
+// produce. Values intentionally match historical UNIX so traces read
+// naturally; nothing depends on the numeric values beyond stability.
+#ifndef SRC_BASE_ERRNO_H_
+#define SRC_BASE_ERRNO_H_
+
+namespace sg {
+
+enum class Errno : int {
+  kOk = 0,
+  kEPERM = 1,     // operation not permitted
+  kENOENT = 2,    // no such file or directory
+  kESRCH = 3,     // no such process
+  kEINTR = 4,     // interrupted system call
+  kEIO = 5,       // I/O error
+  kE2BIG = 7,     // argument list too long
+  kEBADF = 9,     // bad file descriptor
+  kECHILD = 10,   // no child processes
+  kEAGAIN = 11,   // resource temporarily unavailable
+  kENOMEM = 12,   // out of memory / address space
+  kEACCES = 13,   // permission denied
+  kEFAULT = 14,   // bad address
+  kEEXIST = 17,   // file exists
+  kENOTDIR = 20,  // not a directory
+  kEISDIR = 21,   // is a directory
+  kEINVAL = 22,   // invalid argument
+  kENFILE = 23,   // system file table overflow
+  kEMFILE = 24,   // per-process descriptor table full
+  kEFBIG = 27,    // file too large (ulimit exceeded)
+  kENOSPC = 28,   // no space left on device
+  kESPIPE = 29,   // illegal seek
+  kEPIPE = 32,    // broken pipe
+  kENAMETOOLONG = 36,
+  kENOTEMPTY = 39,
+  kEIDRM = 43,    // identifier removed (SysV IPC)
+  kENOSYS = 89,   // function not implemented
+};
+
+// Human-readable name ("ENOENT") for diagnostics; never nullptr.
+const char* ErrnoName(Errno e);
+// Short description ("no such file or directory"); never nullptr.
+const char* ErrnoMessage(Errno e);
+
+}  // namespace sg
+
+#endif  // SRC_BASE_ERRNO_H_

@@ -1,0 +1,129 @@
+// Intrusive doubly-linked list, used for kernel object chains where the
+// original implementation threads pointers through the objects themselves
+// (e.g. the share block's `s_plink` process chain, pregion lists, sleep
+// queues). The list never owns its elements.
+#ifndef SRC_BASE_INTRUSIVE_LIST_H_
+#define SRC_BASE_INTRUSIVE_LIST_H_
+
+#include <cstddef>
+#include <iterator>
+
+#include "base/check.h"
+
+namespace sg {
+
+// Embed one of these per list an object can be on.
+struct ListNode {
+  ListNode* prev = nullptr;
+  ListNode* next = nullptr;
+
+  bool linked() const { return next != nullptr; }
+};
+
+// IntrusiveList<T, &T::member> — a circular doubly-linked list anchored at a
+// sentinel. O(1) push/erase, safe erase-while-iterating via the iterator
+// returned from Erase().
+template <typename T, ListNode T::* Member>
+class IntrusiveList {
+ public:
+  IntrusiveList() { head_.prev = head_.next = &head_; }
+  ~IntrusiveList() { SG_DCHECK(empty()); }
+
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  bool empty() const { return head_.next == &head_; }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const ListNode* p = head_.next; p != &head_; p = p->next) {
+      ++n;
+    }
+    return n;
+  }
+
+  void PushBack(T* obj) {
+    ListNode* n = NodeOf(obj);
+    SG_DCHECK(!n->linked());
+    n->prev = head_.prev;
+    n->next = &head_;
+    head_.prev->next = n;
+    head_.prev = n;
+  }
+
+  void PushFront(T* obj) {
+    ListNode* n = NodeOf(obj);
+    SG_DCHECK(!n->linked());
+    n->next = head_.next;
+    n->prev = &head_;
+    head_.next->prev = n;
+    head_.next = n;
+  }
+
+  // Unlinks `obj`; it must be on this list.
+  void Erase(T* obj) {
+    ListNode* n = NodeOf(obj);
+    SG_DCHECK(n->linked());
+    n->prev->next = n->next;
+    n->next->prev = n->prev;
+    n->prev = n->next = nullptr;
+  }
+
+  T* Front() { return empty() ? nullptr : ObjOf(head_.next); }
+
+  // Pops and returns the front element, or nullptr if empty.
+  T* PopFront() {
+    T* obj = Front();
+    if (obj != nullptr) {
+      Erase(obj);
+    }
+    return obj;
+  }
+
+  bool Contains(const T* obj) const {
+    const ListNode* target = NodeOf(const_cast<T*>(obj));
+    for (const ListNode* p = head_.next; p != &head_; p = p->next) {
+      if (p == target) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = T*;
+    using difference_type = std::ptrdiff_t;
+
+    explicit iterator(ListNode* at) : at_(at) {}
+    T* operator*() const { return ObjOf(at_); }
+    iterator& operator++() {
+      at_ = at_->next;
+      return *this;
+    }
+    bool operator==(const iterator& o) const { return at_ == o.at_; }
+    bool operator!=(const iterator& o) const { return at_ != o.at_; }
+
+   private:
+    ListNode* at_;
+  };
+
+  iterator begin() { return iterator(head_.next); }
+  iterator end() { return iterator(&head_); }
+
+ private:
+  static ListNode* NodeOf(T* obj) { return &(obj->*Member); }
+  static T* ObjOf(ListNode* n) {
+    // Recover the enclosing object from its embedded node.
+    const auto offset = reinterpret_cast<std::size_t>(
+        &(reinterpret_cast<T const volatile*>(0x1000)->*Member)) - 0x1000;
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(n) - offset);
+  }
+
+  ListNode head_;
+};
+
+}  // namespace sg
+
+#endif  // SRC_BASE_INTRUSIVE_LIST_H_

@@ -1,0 +1,40 @@
+#include "base/log.h"
+
+#include <cstdio>
+
+namespace sg {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kNone)};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "E";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kNone: return "-";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void Logf(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) > g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  char buf[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  std::fprintf(stderr, "[sg:%s] %s\n", LevelTag(level), buf);
+}
+
+}  // namespace sg

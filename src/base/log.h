@@ -1,0 +1,35 @@
+// Minimal leveled logging for kernel diagnostics.
+//
+// Logging is off by default (level kNone) so benchmarks measure the
+// mechanisms, not stderr. Tests and examples can raise the level.
+#ifndef SRC_BASE_LOG_H_
+#define SRC_BASE_LOG_H_
+
+#include <atomic>
+#include <cstdarg>
+
+namespace sg {
+
+enum class LogLevel : int {
+  kNone = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+};
+
+// Sets / reads the global log level. Thread-safe.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// printf-style log statement; a newline is appended. Thread-safe (one write).
+void Logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace sg
+
+#define SG_LOG_ERROR(...) ::sg::Logf(::sg::LogLevel::kError, __VA_ARGS__)
+#define SG_LOG_WARN(...) ::sg::Logf(::sg::LogLevel::kWarn, __VA_ARGS__)
+#define SG_LOG_INFO(...) ::sg::Logf(::sg::LogLevel::kInfo, __VA_ARGS__)
+#define SG_LOG_DEBUG(...) ::sg::Logf(::sg::LogLevel::kDebug, __VA_ARGS__)
+
+#endif  // SRC_BASE_LOG_H_

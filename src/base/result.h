@@ -1,0 +1,99 @@
+// Status / Result<T>: error propagation for the simulated kernel.
+//
+// The kernel API never throws across its public surface; every syscall-level
+// operation returns either `Status` (Errno or OK) or `Result<T>` (Errno or a
+// value), mirroring the errno/return-value convention of the original
+// System V.3 interfaces the paper extends.
+#ifndef SRC_BASE_RESULT_H_
+#define SRC_BASE_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "base/errno.h"
+
+namespace sg {
+
+// A success-or-errno status.
+class [[nodiscard]] Status {
+ public:
+  constexpr Status() : err_(Errno::kOk) {}
+  constexpr Status(Errno e) : err_(e) {}  // NOLINT: implicit by design
+
+  static constexpr Status Ok() { return Status(); }
+
+  constexpr bool ok() const { return err_ == Errno::kOk; }
+  constexpr Errno error() const { return err_; }
+  const char* name() const { return ErrnoName(err_); }
+  const char* message() const { return ErrnoMessage(err_); }
+
+  friend constexpr bool operator==(Status a, Status b) { return a.err_ == b.err_; }
+
+ private:
+  Errno err_;
+};
+
+// A value-or-errno result. `T` must be movable. Access to `value()` on an
+// error result aborts: kernel code must check `ok()` (or use SG_TRY below).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Errno e) : v_(e) {}                 // NOLINT: implicit by design
+  Result(Status s) : v_(s.error()) {}        // NOLINT: implicit by design
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  Errno error() const { return ok() ? Errno::kOk : std::get<Errno>(v_); }
+  Status status() const { return Status(error()); }
+
+  T& value() & {
+    if (!ok()) {
+      std::abort();
+    }
+    return std::get<T>(v_);
+  }
+  const T& value() const& {
+    if (!ok()) {
+      std::abort();
+    }
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    if (!ok()) {
+      std::abort();
+    }
+    return std::get<T>(std::move(v_));
+  }
+
+  T value_or(T fallback) const { return ok() ? std::get<T>(v_) : std::move(fallback); }
+
+ private:
+  std::variant<T, Errno> v_;
+};
+
+}  // namespace sg
+
+// Propagates an error Status/Result from the current function.
+#define SG_RETURN_IF_ERROR(expr)          \
+  do {                                    \
+    auto _sg_status = (expr);             \
+    if (!_sg_status.ok()) {               \
+      return _sg_status.error();          \
+    }                                     \
+  } while (0)
+
+// Evaluates a Result<T> expression, propagating errors; on success assigns
+// the unwrapped value to `lhs` (which must be a declaration or lvalue).
+#define SG_ASSIGN_OR_RETURN(lhs, expr)    \
+  SG_ASSIGN_OR_RETURN_IMPL_(SG_CONCAT_(_sg_result_, __LINE__), lhs, expr)
+#define SG_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) {                                \
+    return tmp.error();                           \
+  }                                               \
+  lhs = std::move(tmp).value()
+#define SG_CONCAT_(a, b) SG_CONCAT_IMPL_(a, b)
+#define SG_CONCAT_IMPL_(a, b) a##b
+
+#endif  // SRC_BASE_RESULT_H_

@@ -1,0 +1,52 @@
+// Fundamental scalar types used throughout the share-groups kernel.
+#ifndef SRC_BASE_TYPES_H_
+#define SRC_BASE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sg {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+// A virtual address in a simulated user address space. We keep all user
+// addresses below 2^32 (the target machine in the paper is a 32-bit MIPS
+// R2000) but use a 64-bit carrier so arithmetic never wraps silently.
+using vaddr_t = u64;
+
+// A physical frame number in the simulated physical memory.
+using pfn_t = u32;
+
+// Process identifier. pid 0 is reserved; pid 1 is init.
+using pid_t = i32;
+
+// Inode number in the in-memory filesystem.
+using ino_t = u32;
+
+// User/group identifiers.
+using uid_t = u16;
+using gid_t = u16;
+
+// File mode bits (permission subset; type bits live in InodeType).
+using mode_t = u16;
+
+inline constexpr u64 kPageShift = 12;
+inline constexpr u64 kPageSize = u64{1} << kPageShift;  // 4 KiB, as on the R2000
+inline constexpr u64 kPageMask = kPageSize - 1;
+
+// Rounds `v` down/up to a page boundary.
+constexpr u64 PageFloor(u64 v) { return v & ~kPageMask; }
+constexpr u64 PageCeil(u64 v) { return (v + kPageMask) & ~kPageMask; }
+constexpr u64 PageOf(u64 v) { return v >> kPageShift; }
+constexpr u64 PagesFor(u64 bytes) { return PageCeil(bytes) >> kPageShift; }
+
+}  // namespace sg
+
+#endif  // SRC_BASE_TYPES_H_

@@ -1,0 +1,418 @@
+#include "core/shaddr.h"
+
+#include "base/check.h"
+#include "core/share_mask.h"
+#include "sync/shared_read_lock.h"
+
+namespace sg {
+
+namespace {
+
+// Is this pregion type sharable when a group forms? The PRDA never is
+// ("certain small parts of a process's VM space are not shared", §5.1).
+bool Sharable(const Pregion& pr) { return pr.region->type() != RegionType::kPrda; }
+
+}  // namespace
+
+ShaddrBlock::ShaddrBlock(Proc& creator, CpuSet& cpus, Vfs& vfs) : vfs_(vfs), space_(cpus) {
+  // Move the creator's sharable pregions onto the shared list (§6.2: "When
+  // a process first creates a share group all of its sharable pregions are
+  // moved to the list of pregions in the shared address block"). Nobody
+  // else can see the block yet, so no locking.
+  auto& priv = creator.as.private_pregions();
+  for (auto it = priv.begin(); it != priv.end();) {
+    if (Sharable(**it)) {
+      if ((*it)->base >= kArenaBase) {
+        SG_CHECK(space_.va().Reserve((*it)->base, (*it)->region->pages()).ok());
+      }
+      space_.pregions().push_back(std::move(*it));
+      it = priv.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  creator.as.set_shared(&space_);
+  space_.AddMemberTlb(&creator.as.tlb());
+
+  // Seed the master resource copies, bumping the block's own references.
+  for (const FdEntry& e : creator.fds.slots()) {
+    ofile_.push_back(e.used() ? FdEntry{vfs_.files().Dup(e.file), e.close_on_exec} : FdEntry{});
+  }
+  cdir_ = vfs_.inodes().Iget(creator.cwd);
+  rdir_ = vfs_.inodes().Iget(creator.rootdir);
+  cmask_ = creator.umask;
+  limit_ = creator.ulimit;
+  uid_ = creator.uid;
+  gid_ = creator.gid;
+
+  plink_ = &creator;
+  creator.s_plink = nullptr;
+  refcnt_ = 1;
+  creator.shaddr = this;
+  creator.p_shmask = PR_SALL;
+}
+
+ShaddrBlock::~ShaddrBlock() {
+  for (const FdEntry& e : ofile_) {
+    if (e.used()) {
+      vfs_.files().Release(e.file);
+    }
+  }
+  if (cdir_ != nullptr) {
+    vfs_.inodes().Iput(cdir_);
+  }
+  if (rdir_ != nullptr) {
+    vfs_.inodes().Iput(rdir_);
+  }
+}
+
+void ShaddrBlock::AddMember(Proc& child, u32 shmask) {
+  child.shaddr = this;
+  child.p_shmask = shmask;
+  if ((shmask & PR_SADDR) != 0) {
+    UpdateGuard g(space_.lock());
+    child.as.set_shared(&space_);
+    space_.AddMemberTlb(&child.as.tlb());
+  }
+  SpinGuard g(listlock_);
+  child.s_plink = plink_;
+  plink_ = &child;
+  ++refcnt_;
+}
+
+bool ShaddrBlock::TryAddMember(Proc& child, u32 shmask) {
+  SG_CHECK((shmask & PR_SADDR) == 0);  // dynamic joins never share VM
+  {
+    SpinGuard g(listlock_);
+    if (refcnt_ == 0) {
+      return false;  // the last member is mid-exit; the block is draining
+    }
+    child.s_plink = plink_;
+    plink_ = &child;
+    ++refcnt_;
+  }
+  child.shaddr = this;
+  child.p_shmask = shmask;
+  return true;
+}
+
+Status ShaddrBlock::UnshareVm(Proc& p) {
+  SG_CHECK(p.as.shared() == &space_);
+  UpdateGuard g(space_.lock());
+  auto& shared = space_.pregions();
+
+  // The caller's private allocator is pristine-by-construction while it
+  // shares VM (only the PRDA lives privately, below the arena); rebuild it
+  // and claim every range we are about to own.
+  p.as.ResetVa();
+
+  // The caller's own stack MOVES out of the shared image: its writes keep
+  // working, other members lose access (like a fork child's stack, it is
+  // "not visible in the share group virtual address space").
+  for (auto it = shared.begin(); it != shared.end(); ++it) {
+    if ((*it)->region->type() == RegionType::kStack && (*it)->stack_owner == p.pid) {
+      SG_CHECK(p.as.va().Reserve((*it)->base, (*it)->region->pages()).ok());
+      p.as.AttachPrivate(std::move(*it));
+      shared.erase(it);
+      space_.va().Free(p.stack_base);
+      break;
+    }
+  }
+
+  // Copy-on-write snapshot of everything else, exactly the fork treatment.
+  for (auto& pr : shared) {
+    std::shared_ptr<Region> r;
+    switch (pr->region->type()) {
+      case RegionType::kText:
+      case RegionType::kShm:
+        r = pr->region;
+        break;
+      default:
+        r = pr->region->DupCow();
+        break;
+    }
+    auto copy = std::make_unique<Pregion>(std::move(r), pr->base, pr->prot);
+    copy->stack_owner = pr->stack_owner;
+    if (pr->base >= kArenaBase) {
+      SG_CHECK(p.as.va().Reserve(pr->base, pr->region->pages()).ok());
+    }
+    p.as.AttachPrivate(std::move(copy));
+  }
+
+  // COW marking revoked write permission group-wide; the moved stack
+  // vanished from the shared image: flush everyone, then detach.
+  space_.ShootdownAll();
+  space_.RemoveMemberTlb(&p.as.tlb());
+  p.as.set_shared(nullptr);
+  p.as.tlb().FlushAll();
+  p.p_shmask &= ~PR_SADDR;
+  return Status::Ok();
+}
+
+Status ShaddrBlock::ShadowDataPrivately(Proc& p) {
+  SG_CHECK(p.as.shared() == &space_);
+  UpdateGuard g(space_.lock());
+  Pregion* data = nullptr;
+  for (auto& pr : space_.pregions()) {
+    if (pr->region->type() == RegionType::kData) {
+      data = pr.get();
+      break;
+    }
+  }
+  if (data == nullptr) {
+    return Errno::kEINVAL;
+  }
+  auto copy = std::make_unique<Pregion>(data->region->DupCow(), data->base, data->prot);
+  p.as.AttachPrivate(std::move(copy));
+  // The COW marking write-protected the shared data pages for everyone.
+  space_.ShootdownAll();
+  return Status::Ok();
+}
+
+bool ShaddrBlock::RemoveMember(Proc& p) {
+  if ((p.p_shmask & PR_SADDR) != 0 && p.as.shared() == &space_) {
+    UpdateGuard g(space_.lock());
+    // Drop this member's stack from the shared image. Its frames are about
+    // to be freed, so the synchronous all-processor flush comes first.
+    auto& list = space_.pregions();
+    for (auto it = list.begin(); it != list.end(); ++it) {
+      if ((*it)->region->type() == RegionType::kStack && (*it)->stack_owner == p.pid) {
+        space_.ShootdownAll();
+        const vaddr_t base = (*it)->base;
+        list.erase(it);
+        space_.va().Free(base);
+        break;
+      }
+    }
+    space_.RemoveMemberTlb(&p.as.tlb());
+    p.as.set_shared(nullptr);
+    p.as.tlb().FlushAll();
+  }
+  bool last;
+  {
+    SpinGuard g(listlock_);
+    Proc** link = &plink_;
+    while (*link != nullptr && *link != &p) {
+      link = &(*link)->s_plink;
+    }
+    SG_CHECK(*link == &p);
+    *link = p.s_plink;
+    p.s_plink = nullptr;
+    SG_CHECK(refcnt_ > 0);
+    last = (--refcnt_ == 0);
+  }
+  p.shaddr = nullptr;
+  p.p_shmask = 0;
+  p.p_flag.fetch_and(~kPfSyncAny, std::memory_order_acq_rel);
+  return last;
+}
+
+u32 ShaddrBlock::refcnt() const {
+  SpinGuard g(listlock_);
+  return refcnt_;
+}
+
+void ShaddrBlock::FlagOthers(Proc& self, u32 resource, u32 bit) {
+  SpinGuard g(listlock_);
+  for (Proc* m = plink_; m != nullptr; m = m->s_plink) {
+    if (m != &self && (m->p_shmask & resource) != 0) {
+      m->p_flag.fetch_or(bit, std::memory_order_acq_rel);
+    }
+  }
+}
+
+// ----- file descriptors (under fupdsema_) -----
+
+void ShaddrBlock::PullFdsIfFlagged(Proc& p) {
+  if ((p.p_flag.load(std::memory_order_acquire) & kPfSyncFds) == 0) {
+    return;
+  }
+  // Wholesale replace: release the stale table, duplicate the master.
+  for (FdEntry& e : p.fds.slots()) {
+    if (e.used()) {
+      vfs_.files().Release(e.file);
+      e = FdEntry{};
+    }
+  }
+  for (u32 i = 0; i < ofile_.size() && i < p.fds.slots().size(); ++i) {
+    if (ofile_[i].used()) {
+      p.fds.slots()[i] = FdEntry{vfs_.files().Dup(ofile_[i].file), ofile_[i].close_on_exec};
+    }
+  }
+  p.p_flag.fetch_and(~kPfSyncFds, std::memory_order_acq_rel);
+}
+
+void ShaddrBlock::PublishFds(Proc& p) {
+  for (FdEntry& e : ofile_) {
+    if (e.used()) {
+      vfs_.files().Release(e.file);
+    }
+  }
+  ofile_.clear();
+  for (const FdEntry& e : p.fds.slots()) {
+    ofile_.push_back(e.used() ? FdEntry{vfs_.files().Dup(e.file), e.close_on_exec} : FdEntry{});
+  }
+  p.p_flag.fetch_and(~kPfSyncFds, std::memory_order_acq_rel);
+  FlagOthers(p, PR_SFDS, kPfSyncFds);
+}
+
+// ----- scalar resources (under rupdlock_) -----
+
+void ShaddrBlock::UpdateDir(Proc& p, Inode* new_cwd, Inode* new_root) {
+  SpinGuard g(rupdlock_);
+  // Double-update check: refresh from the master before applying our own
+  // change, so a concurrent chroot by another member is not clobbered by
+  // our chdir (and vice versa).
+  if ((p.p_flag.load(std::memory_order_acquire) & kPfSyncDir) != 0) {
+    vfs_.inodes().Iput(p.cwd);
+    vfs_.inodes().Iput(p.rootdir);
+    p.cwd = vfs_.inodes().Iget(cdir_);
+    p.rootdir = vfs_.inodes().Iget(rdir_);
+  }
+  if (new_cwd != nullptr) {
+    vfs_.inodes().Iput(p.cwd);
+    p.cwd = new_cwd;  // counted ref transferred from the caller
+  }
+  if (new_root != nullptr) {
+    vfs_.inodes().Iput(p.rootdir);
+    p.rootdir = new_root;
+  }
+  // Copy to the master (swap the block's references).
+  vfs_.inodes().Iput(cdir_);
+  vfs_.inodes().Iput(rdir_);
+  cdir_ = vfs_.inodes().Iget(p.cwd);
+  rdir_ = vfs_.inodes().Iget(p.rootdir);
+  p.p_flag.fetch_and(~kPfSyncDir, std::memory_order_acq_rel);
+  FlagOthers(p, PR_SDIR, kPfSyncDir);
+}
+
+void ShaddrBlock::PullDir(Proc& p) {
+  SpinGuard g(rupdlock_);
+  vfs_.inodes().Iput(p.cwd);
+  vfs_.inodes().Iput(p.rootdir);
+  p.cwd = vfs_.inodes().Iget(cdir_);
+  p.rootdir = vfs_.inodes().Iget(rdir_);
+  p.p_flag.fetch_and(~kPfSyncDir, std::memory_order_acq_rel);
+}
+
+void ShaddrBlock::UpdateIds(Proc& p, const uid_t* new_uid, const gid_t* new_gid) {
+  SpinGuard g(rupdlock_);
+  if ((p.p_flag.load(std::memory_order_acquire) & kPfSyncId) != 0) {
+    p.uid = uid_;
+    p.gid = gid_;
+  }
+  if (new_uid != nullptr) {
+    p.uid = *new_uid;
+  }
+  if (new_gid != nullptr) {
+    p.gid = *new_gid;
+  }
+  uid_ = p.uid;
+  gid_ = p.gid;
+  p.p_flag.fetch_and(~kPfSyncId, std::memory_order_acq_rel);
+  FlagOthers(p, PR_SID, kPfSyncId);
+}
+
+void ShaddrBlock::PullIds(Proc& p) {
+  SpinGuard g(rupdlock_);
+  p.uid = uid_;
+  p.gid = gid_;
+  p.p_flag.fetch_and(~kPfSyncId, std::memory_order_acq_rel);
+}
+
+void ShaddrBlock::UpdateUmask(Proc& p, mode_t value) {
+  SpinGuard g(rupdlock_);
+  p.umask = static_cast<mode_t>(value & kModeAll);
+  cmask_ = p.umask;
+  p.p_flag.fetch_and(~kPfSyncUmask, std::memory_order_acq_rel);
+  FlagOthers(p, PR_SUMASK, kPfSyncUmask);
+}
+
+void ShaddrBlock::PullUmask(Proc& p) {
+  SpinGuard g(rupdlock_);
+  p.umask = cmask_;
+  p.p_flag.fetch_and(~kPfSyncUmask, std::memory_order_acq_rel);
+}
+
+void ShaddrBlock::UpdateUlimit(Proc& p, u64 value) {
+  SpinGuard g(rupdlock_);
+  p.ulimit = value;
+  limit_ = value;
+  p.p_flag.fetch_and(~kPfSyncUlimit, std::memory_order_acq_rel);
+  FlagOthers(p, PR_SULIMIT, kPfSyncUlimit);
+}
+
+void ShaddrBlock::PullUlimit(Proc& p) {
+  SpinGuard g(rupdlock_);
+  p.ulimit = limit_;
+  p.p_flag.fetch_and(~kPfSyncUlimit, std::memory_order_acq_rel);
+}
+
+void ShaddrBlock::SyncOnKernelEntry(Proc& p) {
+  // The fast path is this single test (§6.3: "if any are set then a routine
+  // to handle the synchronization is called ... thus lowering the system
+  // call overhead for most system calls").
+  const u32 flags = p.p_flag.load(std::memory_order_acquire);
+  if ((flags & kPfSyncAny) == 0) {
+    return;
+  }
+  if ((flags & kPfSyncFds) != 0) {
+    LockFileUpdate();
+    PullFdsIfFlagged(p);
+    UnlockFileUpdate();
+  }
+  if ((flags & kPfSyncDir) != 0) {
+    PullDir(p);
+  }
+  if ((flags & kPfSyncId) != 0) {
+    PullIds(p);
+  }
+  if ((flags & kPfSyncUmask) != 0) {
+    PullUmask(p);
+  }
+  if ((flags & kPfSyncUlimit) != 0) {
+    PullUlimit(p);
+  }
+}
+
+// ----- diagnostics -----
+
+mode_t ShaddrBlock::cmask() const {
+  SpinGuard g(rupdlock_);
+  return cmask_;
+}
+
+u64 ShaddrBlock::limit() const {
+  SpinGuard g(rupdlock_);
+  return limit_;
+}
+
+uid_t ShaddrBlock::uid() const {
+  SpinGuard g(rupdlock_);
+  return uid_;
+}
+
+gid_t ShaddrBlock::gid() const {
+  SpinGuard g(rupdlock_);
+  return gid_;
+}
+
+Inode* ShaddrBlock::cdir() const {
+  SpinGuard g(rupdlock_);
+  return cdir_;
+}
+
+Inode* ShaddrBlock::rdir() const {
+  SpinGuard g(rupdlock_);
+  return rdir_;
+}
+
+int ShaddrBlock::OfileCount() const {
+  int n = 0;
+  for (const FdEntry& e : ofile_) {
+    n += e.used() ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace sg

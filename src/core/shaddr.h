@@ -1,0 +1,169 @@
+// ShaddrBlock — the paper's shaddr_t (§6.1): "For each share group, there
+// is a single data structure (the shared address block) that is referenced
+// by all members of the group."
+//
+// Field correspondence with the paper's structure:
+//   s_region / s_acclck / s_updwait / s_acccnt / s_waitcnt
+//       -> space_ (vm::SharedSpace: the shared pregion list + SharedReadLock)
+//   s_plink / s_refcnt / s_listlock
+//       -> the member chain (through Proc::s_plink), refcnt_, listlock_
+//   s_fupdsema -> fupdsema_ (single-threads open-file-table updates)
+//   s_ofile / s_pofile -> ofile_ (master copy of the descriptor table,
+//       FdEntry carries the per-descriptor flag byte)
+//   s_cdir / s_rdir -> cdir_/rdir_ (counted inode refs)
+//   s_rupdlock -> rupdlock_ (spinlock for the small shared values)
+//   s_cmask / s_limit / s_uid / s_gid -> cmask_/limit_/uid_/gid_
+//
+// "Those resources which have reference counts (file descriptors and
+// inodes) have the count bumped one for the shared address block. This
+// avoids any races whereby the process that changed the resource exits
+// before all other group members have had a chance to synchronize." The
+// block therefore owns one reference to every file in ofile_ and to
+// cdir_/rdir_, released only at group teardown or replacement.
+#ifndef SRC_CORE_SHADDR_H_
+#define SRC_CORE_SHADDR_H_
+
+#include <vector>
+
+#include "base/types.h"
+#include "fs/file.h"
+#include "fs/vfs.h"
+#include "hw/cpu_set.h"
+#include "proc/proc.h"
+#include "sync/semaphore.h"
+#include "sync/spinlock.h"
+#include "vm/shared_space.h"
+
+namespace sg {
+
+class ShaddrBlock {
+ public:
+  // Creates the block for `creator`'s new share group: moves the creator's
+  // sharable pregions onto the shared list, registers its TLB, seeds the
+  // master resource copies from the creator's u-area (bumping the block's
+  // own references), links the creator as the first member, and gives it a
+  // mask "indicating that all resources are shared".
+  ShaddrBlock(Proc& creator, CpuSet& cpus, Vfs& vfs);
+  ~ShaddrBlock();
+  ShaddrBlock(const ShaddrBlock&) = delete;
+  ShaddrBlock& operator=(const ShaddrBlock&) = delete;
+
+  // ----- the pregion half (s_region & friends) -----
+  SharedSpace& space() { return space_; }
+
+  // ----- member chain (s_plink/s_refcnt/s_listlock) -----
+  // Links `child` with its (already strict-inheritance-masked) share mask.
+  // If PR_SADDR is set the child's address space joins the shared image.
+  void AddMember(Proc& child, u32 shmask);
+
+  // Like AddMember, but fails (returns false) if the group is already
+  // draining (refcnt 0, block about to be destroyed). Used by the dynamic
+  // PR_JOINGROUP extension, where the joiner races the last member's exit.
+  bool TryAddMember(Proc& child, u32 shmask);
+
+  // Unlinks `p` (exit(2) or exec(2)). Removes the member's stack from the
+  // shared image (with the §6.2 shootdown: its frames are freed) and drops
+  // its TLB registration. Returns true when `p` was the last member — the
+  // caller then destroys the block ("the structure is thrown away once the
+  // last member exits").
+  bool RemoveMember(Proc& p);
+
+  // §8 PR_UNSHARE(PR_SADDR): takes a copy-on-write snapshot of the shared
+  // image into `p`'s private space (its own stack MOVES out of the shared
+  // image) and detaches `p` from shared VM. `p` stays a group member for
+  // whatever else it shares.
+  Status UnshareVm(Proc& p);
+
+  // §8 PR_PRIVDATA: shadows the shared DATA region with a private
+  // copy-on-write duplicate in `p`'s address space — the private-first scan
+  // order (§6.2) makes `p` use the copy while everyone else keeps sharing.
+  Status ShadowDataPrivately(Proc& p);
+
+  // Calls fn(member) for each member under the list lock.
+  template <typename Fn>
+  void ForEachMember(Fn&& fn) {
+    SpinGuard g(listlock_);
+    for (Proc* m = plink_; m != nullptr; m = m->s_plink) {
+      fn(*m);
+    }
+  }
+
+  u32 refcnt() const;
+
+  // ----- §6.3 resource synchronization -----
+  // Update protocol ("the share block is locked for update, the resource is
+  // modified, a copy is made in the shared address block, each sharing
+  // group member's p_flag word is updated, and the lock is released" —
+  // plus the double-update check: "it is important that the second process
+  // be synchronized prior to being allowed to update the resource. This is
+  // handled by also checking the synchronization bits after acquiring the
+  // lock"):
+  //
+  //   lock -> pull-if-flagged -> apply caller's change -> copy to master ->
+  //   flag the other sharing members -> unlock.
+  //
+  // File-descriptor updates are single-threaded by fupdsema_ (s_fupdsema)
+  // and bracket a whole open/close/dup in the syscall layer; the small
+  // scalar resources complete inside rupdlock_ (s_rupdlock).
+
+  // Descriptor-table update bracket. Sequence in the syscall layer:
+  //   LockFileUpdate(); PullFdsIfFlagged(p); <modify p.fds>;
+  //   PublishFds(p); UnlockFileUpdate();
+  void LockFileUpdate() { (void)fupdsema_.P(); }  // uninterruptible: always kOk
+  void UnlockFileUpdate() { fupdsema_.V(); }
+  void PullFdsIfFlagged(Proc& p);
+  void PublishFds(Proc& p);
+
+  // Scalar resources; null/unset arguments leave that field as-is.
+  void UpdateDir(Proc& p, Inode* new_cwd, Inode* new_root);  // takes over the counted refs
+  void UpdateIds(Proc& p, const uid_t* new_uid, const gid_t* new_gid);
+  void UpdateUmask(Proc& p, mode_t value);
+  void UpdateUlimit(Proc& p, u64 value);
+
+  // Kernel-entry hook: tests p_flag in one AND; pulls whatever is flagged.
+  // "When a shared process enters the system via a system call, the
+  // collection of bits in p_flag is checked in a single test."
+  void SyncOnKernelEntry(Proc& p);
+
+  // Test/diagnostic accessors for the master copies.
+  mode_t cmask() const;
+  u64 limit() const;
+  uid_t uid() const;
+  gid_t gid() const;
+  Inode* cdir() const;
+  Inode* rdir() const;
+  int OfileCount() const;
+
+ private:
+  // Sets `bit` in every member (except `self`) whose share mask includes
+  // `resource`.
+  void FlagOthers(Proc& self, u32 resource, u32 bit);
+
+  // Kernel-entry pulls: refresh the member's private copy from the master.
+  void PullDir(Proc& p);
+  void PullIds(Proc& p);
+  void PullUmask(Proc& p);
+  void PullUlimit(Proc& p);
+
+  Vfs& vfs_;
+  SharedSpace space_;
+
+  mutable Spinlock listlock_;  // s_listlock
+  Proc* plink_ = nullptr;      // s_plink
+  u32 refcnt_ = 0;             // s_refcnt
+
+  Semaphore fupdsema_{1};          // s_fupdsema
+  std::vector<FdEntry> ofile_;     // s_ofile + s_pofile
+
+  mutable Spinlock rupdlock_;  // s_rupdlock
+  Inode* cdir_ = nullptr;      // s_cdir
+  Inode* rdir_ = nullptr;      // s_rdir
+  mode_t cmask_ = 022;         // s_cmask
+  u64 limit_ = 0;              // s_limit
+  uid_t uid_ = 0;              // s_uid
+  gid_t gid_ = 0;              // s_gid
+};
+
+}  // namespace sg
+
+#endif  // SRC_CORE_SHADDR_H_

@@ -1,0 +1,64 @@
+// The share mask (§5.1): which resources an sproc() child shares with the
+// group. "When the child is created, the share mask is masked against the
+// share mask used when creating the parent ... providing strict inheritance
+// of those resources. The original process in a share group is given a mask
+// indicating that all resources are shared."
+#ifndef SRC_CORE_SHARE_MASK_H_
+#define SRC_CORE_SHARE_MASK_H_
+
+#include "base/types.h"
+
+namespace sg {
+
+inline constexpr u32 PR_SADDR = 1u << 0;    // share virtual address space
+inline constexpr u32 PR_SULIMIT = 1u << 1;  // share ulimit values
+inline constexpr u32 PR_SUMASK = 1u << 2;   // share umask values
+inline constexpr u32 PR_SDIR = 1u << 3;     // share current/root directory
+inline constexpr u32 PR_SFDS = 1u << 4;     // share open file descriptors
+inline constexpr u32 PR_SID = 1u << 5;      // share uid/gid
+inline constexpr u32 PR_SALL =
+    PR_SADDR | PR_SULIMIT | PR_SUMASK | PR_SDIR | PR_SFDS | PR_SID;
+
+// prctl() options (§5.2).
+inline constexpr u32 PR_MAXPROCS = 1;      // limit on processes per user
+inline constexpr u32 PR_MAXPPROCS = 2;     // processes the system runs in parallel
+inline constexpr u32 PR_SETSTACKSIZE = 3;  // set maximum stack size
+inline constexpr u32 PR_GETSTACKSIZE = 4;  // get maximum stack size
+
+// ---- Extensions implementing §8 ("Future Directions") ----
+
+// "The priority of the whole group could be raised or lowered." Sets every
+// member's scheduling priority; returns the member count. kEINVAL when the
+// caller is not in a share group.
+inline constexpr u32 PR_SETGROUPPRI = 16;
+
+// "It might be useful to allow a process to stop sharing a resource. For
+// instance, the fork() primitive already performs this for the virtual
+// address space." prctl(PR_UNSHARE, mask) stops sharing the resources in
+// `mask`; PR_SADDR takes a copy-on-write snapshot of the shared image into
+// the caller's private space (exactly what fork gives a child). Returns the
+// remaining share mask. kEINVAL outside a group.
+inline constexpr u32 PR_UNSHARE = 17;
+
+// "A whole process group could be conveniently blocked or unblocked."
+// PR_BLOCKGROUP suspends every OTHER member at its next kernel entry;
+// PR_UNBLKGROUP resumes them. Returns the number of members affected.
+inline constexpr u32 PR_BLOCKGROUP = 18;
+inline constexpr u32 PR_UNBLKGROUP = 19;
+
+// "We can also consider allowing an unrelated process to join a share
+// group dynamically." prctl(PR_JOINGROUP, pid) joins the group of `pid`
+// for every non-VM resource (fds, directories, ids, umask, ulimit); the
+// caller keeps its own address space. Returns the acquired share mask.
+inline constexpr u32 PR_JOINGROUP = 20;
+
+// sproc() shmask extension: share the address space (PR_SADDR) but give
+// the child a private copy-on-write DATA region shadowing the shared one —
+// §8's "it could be possible to share part of the VM image and have
+// copy-on-write access to other parts of the image." Not part of PR_SALL
+// and not subject to strict inheritance (it takes nothing from the group).
+inline constexpr u32 PR_PRIVDATA = 1u << 8;
+
+}  // namespace sg
+
+#endif  // SRC_CORE_SHARE_MASK_H_

@@ -1,0 +1,112 @@
+#include "fs/file.h"
+
+#include "base/check.h"
+#include "fs/pipe.h"
+
+namespace sg {
+
+Result<OpenFile*> FileTable::Alloc(Inode* ip, u32 flags) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (table_.size() >= max_files_) {
+    return Errno::kENFILE;
+  }
+  auto f = std::make_unique<OpenFile>(ip, flags);
+  OpenFile* raw = f.get();
+  table_.emplace(raw, std::make_pair(std::move(f), 1u));
+  if (ip->type() == InodeType::kPipe) {
+    if ((flags & kOpenRead) != 0) {
+      ip->pipe()->AddReader();
+    }
+    if ((flags & kOpenWrite) != 0) {
+      ip->pipe()->AddWriter();
+    }
+  }
+  return raw;
+}
+
+OpenFile* FileTable::Dup(OpenFile* f) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = table_.find(f);
+  SG_CHECK(it != table_.end());
+  ++it->second.second;
+  return f;
+}
+
+void FileTable::Release(OpenFile* f) {
+  std::unique_ptr<OpenFile> dying;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = table_.find(f);
+    SG_CHECK(it != table_.end() && it->second.second > 0);
+    if (--it->second.second > 0) {
+      return;
+    }
+    dying = std::move(it->second.first);
+    table_.erase(it);
+  }
+  Inode* ip = dying->inode();
+  if (ip->type() == InodeType::kPipe) {
+    if (dying->readable()) {
+      ip->pipe()->RemoveReader();
+    }
+    if (dying->writable()) {
+      ip->pipe()->RemoveWriter();
+    }
+  }
+  inodes_.Iput(ip);
+}
+
+u32 FileTable::RefCount(const OpenFile* f) const {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = table_.find(f);
+  return it == table_.end() ? 0 : it->second.second;
+}
+
+u64 FileTable::Count() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return table_.size();
+}
+
+Result<int> FdTable::AllocSlot(OpenFile* f) {
+  for (int fd = 0; fd < kMaxFds; ++fd) {
+    if (!slots_[static_cast<u32>(fd)].used()) {
+      slots_[static_cast<u32>(fd)] = FdEntry{f, false};
+      return fd;
+    }
+  }
+  return Errno::kEMFILE;
+}
+
+Status FdTable::SetSlot(int fd, OpenFile* f, bool close_on_exec) {
+  if (!ValidFd(fd)) {
+    return Errno::kEBADF;
+  }
+  slots_[static_cast<u32>(fd)] = FdEntry{f, close_on_exec};
+  return Status::Ok();
+}
+
+Result<OpenFile*> FdTable::Get(int fd) const {
+  if (!ValidFd(fd) || !slots_[static_cast<u32>(fd)].used()) {
+    return Errno::kEBADF;
+  }
+  return slots_[static_cast<u32>(fd)].file;
+}
+
+Result<OpenFile*> FdTable::ClearSlot(int fd) {
+  if (!ValidFd(fd) || !slots_[static_cast<u32>(fd)].used()) {
+    return Errno::kEBADF;
+  }
+  OpenFile* f = slots_[static_cast<u32>(fd)].file;
+  slots_[static_cast<u32>(fd)] = FdEntry{};
+  return f;
+}
+
+int FdTable::OpenCount() const {
+  int n = 0;
+  for (const FdEntry& e : slots_) {
+    n += e.used() ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace sg

@@ -1,0 +1,195 @@
+#include "fs/inode.h"
+
+#include <cstring>
+
+#include "base/check.h"
+#include "fs/pipe.h"
+
+namespace sg {
+
+Inode::Inode(ino_t ino, InodeType type, mode_t mode, uid_t uid, gid_t gid)
+    : ino_(ino), type_(type), mode_(mode), uid_(uid), gid_(gid) {}
+
+Inode::~Inode() = default;
+
+mode_t Inode::mode() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return mode_;
+}
+
+void Inode::set_mode(mode_t m) {
+  std::lock_guard<std::mutex> l(mu_);
+  mode_ = m & kModeAll;
+}
+
+uid_t Inode::uid() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return uid_;
+}
+
+gid_t Inode::gid() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return gid_;
+}
+
+void Inode::set_owner(uid_t u, gid_t g) {
+  std::lock_guard<std::mutex> l(mu_);
+  uid_ = u;
+  gid_ = g;
+}
+
+u64 Inode::Size() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return data_.size();
+}
+
+u64 Inode::ReadAt(u64 off, std::byte* out, u64 len) const {
+  std::lock_guard<std::mutex> l(mu_);
+  if (off >= data_.size()) {
+    return 0;
+  }
+  const u64 n = std::min<u64>(len, data_.size() - off);
+  std::memcpy(out, data_.data() + off, n);
+  return n;
+}
+
+u64 Inode::WriteAt(u64 off, const std::byte* src, u64 len, u64 limit) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (off >= limit) {
+    return 0;  // ulimit reached — caller reports EFBIG
+  }
+  const u64 n = std::min<u64>(len, limit - off);
+  if (off + n > data_.size()) {
+    data_.resize(off + n);
+  }
+  std::memcpy(data_.data() + off, src, n);
+  return n;
+}
+
+void Inode::Truncate() {
+  std::lock_guard<std::mutex> l(mu_);
+  data_.clear();
+}
+
+Result<Inode*> Inode::Lookup(const std::string& name) const {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Errno::kENOENT;
+  }
+  return it->second;
+}
+
+Status Inode::AddEntry(const std::string& name, Inode* child) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto [it, inserted] = entries_.emplace(name, child);
+  (void)it;
+  return inserted ? Status::Ok() : Status(Errno::kEEXIST);
+}
+
+Status Inode::RemoveEntry(const std::string& name) {
+  std::lock_guard<std::mutex> l(mu_);
+  return entries_.erase(name) != 0 ? Status::Ok() : Status(Errno::kENOENT);
+}
+
+bool Inode::DirEmpty() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return entries_.empty();
+}
+
+std::vector<std::string> Inode::ListEntries() const {
+  std::lock_guard<std::mutex> l(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, ino] : entries_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+void Inode::AttachPipe(std::unique_ptr<Pipe> p) {
+  std::lock_guard<std::mutex> l(mu_);
+  SG_CHECK(type_ == InodeType::kPipe && pipe_ == nullptr);
+  pipe_ = std::move(p);
+}
+
+bool Permits(const Inode& ip, uid_t uid, gid_t gid, Access want) {
+  if (uid == 0) {
+    return true;  // superuser
+  }
+  const mode_t m = ip.mode();
+  mode_t bit;
+  if (uid == ip.uid()) {
+    bit = want == Access::kRead ? kModeUserR : want == Access::kWrite ? kModeUserW : kModeUserX;
+  } else if (gid == ip.gid()) {
+    bit = want == Access::kRead ? kModeGroupR : want == Access::kWrite ? kModeGroupW : kModeGroupX;
+  } else {
+    bit = want == Access::kRead ? kModeOtherR : want == Access::kWrite ? kModeOtherW : kModeOtherX;
+  }
+  return (m & bit) != 0;
+}
+
+InodeTable::InodeTable(u32 max_inodes) : max_inodes_(max_inodes) {}
+
+InodeTable::~InodeTable() = default;
+
+Result<Inode*> InodeTable::Alloc(InodeType type, mode_t mode, uid_t uid, gid_t gid) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (table_.size() >= max_inodes_) {
+    return Errno::kENOSPC;
+  }
+  auto ip = std::make_unique<Inode>(next_ino_++, type, static_cast<mode_t>(mode & kModeAll), uid,
+                                    gid);
+  Inode* raw = ip.get();
+  table_.emplace(raw, std::make_pair(std::move(ip), 1u));
+  return raw;
+}
+
+Inode* InodeTable::Iget(Inode* ip) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = table_.find(ip);
+  SG_CHECK(it != table_.end());
+  ++it->second.second;
+  return ip;
+}
+
+void InodeTable::Iput(Inode* ip) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = table_.find(ip);
+  SG_CHECK(it != table_.end() && it->second.second > 0);
+  --it->second.second;
+  MaybeFree(ip);
+}
+
+void InodeTable::LinkInc(Inode* ip) {
+  std::lock_guard<std::mutex> l(mu_);
+  ++ip->nlink;
+}
+
+void InodeTable::LinkDec(Inode* ip) {
+  std::lock_guard<std::mutex> l(mu_);
+  SG_CHECK(ip->nlink > 0);
+  --ip->nlink;
+  MaybeFree(ip);
+}
+
+void InodeTable::MaybeFree(Inode* ip) {
+  auto it = table_.find(ip);
+  SG_CHECK(it != table_.end());
+  if (it->second.second == 0 && ip->nlink == 0) {
+    table_.erase(it);
+  }
+}
+
+u32 InodeTable::RefCount(const Inode* ip) const {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = table_.find(ip);
+  return it == table_.end() ? 0 : it->second.second;
+}
+
+u64 InodeTable::Count() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return table_.size();
+}
+
+}  // namespace sg

@@ -1,0 +1,144 @@
+// In-memory filesystem: inodes and the inode table.
+//
+// The paper's share groups propagate the current/root directory (PR_SDIR)
+// and hold "+1" inode references from the shared-address block so a shared
+// directory can never vanish while any member might still synchronize to it
+// (§6.3). The inode table below provides exactly the iget/iput reference
+// discipline that scheme relies on.
+#ifndef SRC_FS_INODE_H_
+#define SRC_FS_INODE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "base/types.h"
+
+namespace sg {
+
+enum class InodeType { kRegular, kDirectory, kPipe };
+
+// Permission bits (classic octal layout).
+inline constexpr mode_t kModeUserR = 0400;
+inline constexpr mode_t kModeUserW = 0200;
+inline constexpr mode_t kModeUserX = 0100;
+inline constexpr mode_t kModeGroupR = 0040;
+inline constexpr mode_t kModeGroupW = 0020;
+inline constexpr mode_t kModeGroupX = 0010;
+inline constexpr mode_t kModeOtherR = 0004;
+inline constexpr mode_t kModeOtherW = 0002;
+inline constexpr mode_t kModeOtherX = 0001;
+inline constexpr mode_t kModeAll = 0777;
+
+class Pipe;
+
+class Inode {
+ public:
+  Inode(ino_t ino, InodeType type, mode_t mode, uid_t uid, gid_t gid);
+  Inode(const Inode&) = delete;
+  Inode& operator=(const Inode&) = delete;
+  ~Inode();
+
+  ino_t ino() const { return ino_; }
+  InodeType type() const { return type_; }
+
+  // Metadata, guarded by meta lock.
+  mode_t mode() const;
+  void set_mode(mode_t m);
+  uid_t uid() const;
+  gid_t gid() const;
+  void set_owner(uid_t u, gid_t g);
+
+  // Link count (directory entries referencing this inode); guarded by the
+  // owning InodeTable's lock.
+  u32 nlink = 0;
+
+  // --- Regular file data ---
+  u64 Size() const;
+  // Reads up to out.size() bytes at `off`; returns bytes read (0 at EOF).
+  u64 ReadAt(u64 off, std::byte* out, u64 len) const;
+  // Writes at `off`, growing the file, but never past `limit` bytes total
+  // (the ulimit). Returns bytes written (0 means the limit was hit).
+  u64 WriteAt(u64 off, const std::byte* src, u64 len, u64 limit);
+  void Truncate();
+
+  // --- Directory data ---
+  // Entries hold plain pointers; the link count (nlink) managed by the
+  // InodeTable keeps a referenced child alive.
+  Result<Inode*> Lookup(const std::string& name) const;
+  Status AddEntry(const std::string& name, Inode* child);
+  Status RemoveEntry(const std::string& name);
+  bool DirEmpty() const;
+  std::vector<std::string> ListEntries() const;
+
+  // Parent directory ("..") — the root points at itself.
+  Inode* parent = nullptr;
+
+  // --- Pipe ---
+  void AttachPipe(std::unique_ptr<Pipe> p);
+  Pipe* pipe() { return pipe_.get(); }
+
+ private:
+  const ino_t ino_;
+  const InodeType type_;
+
+  mutable std::mutex mu_;
+  mode_t mode_;
+  uid_t uid_;
+  gid_t gid_;
+  std::vector<std::byte> data_;              // kRegular
+  std::map<std::string, Inode*> entries_;    // kDirectory
+  std::unique_ptr<Pipe> pipe_;               // kPipe
+};
+
+// Wanted access for permission checks.
+enum class Access { kRead, kWrite, kExec };
+
+// Classic UNIX permission check: owner bits if uid matches, else group
+// bits, else other bits; uid 0 passes everything.
+bool Permits(const Inode& ip, uid_t uid, gid_t gid, Access want);
+
+// The system inode table: allocation, lookup, and reference counting.
+class InodeTable {
+ public:
+  explicit InodeTable(u32 max_inodes);
+  InodeTable(const InodeTable&) = delete;
+  InodeTable& operator=(const InodeTable&) = delete;
+  ~InodeTable();
+
+  // Allocates a new inode with reference count 1 and nlink 0.
+  Result<Inode*> Alloc(InodeType type, mode_t mode, uid_t uid, gid_t gid);
+
+  // Takes an additional reference (paper: the shared block "has the count
+  // bumped one ... this avoids any races whereby the process that changed
+  // the resource exits before all other group members have had a chance to
+  // synchronize").
+  Inode* Iget(Inode* ip);
+
+  // Drops a reference; the inode is destroyed when both the reference count
+  // and the link count reach zero.
+  void Iput(Inode* ip);
+
+  u32 RefCount(const Inode* ip) const;
+  u64 Count() const;
+
+  // Adjusts nlink under the table lock (entries changed by the VFS layer).
+  void LinkInc(Inode* ip);
+  // Decrements nlink, destroying the inode if it becomes unreferenced.
+  void LinkDec(Inode* ip);
+
+ private:
+  void MaybeFree(Inode* ip);  // caller holds mu_
+
+  mutable std::mutex mu_;
+  u32 max_inodes_;
+  ino_t next_ino_ = 1;  // the root directory is allocated first and gets 1
+  std::map<const Inode*, std::pair<std::unique_ptr<Inode>, u32>> table_;  // inode -> (owner, refs)
+};
+
+}  // namespace sg
+
+#endif  // SRC_FS_INODE_H_

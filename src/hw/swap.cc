@@ -1,0 +1,72 @@
+#include "hw/swap.h"
+
+#include <cstring>
+
+#include "base/check.h"
+
+namespace sg {
+
+SwapSpace::SwapSpace(u32 slots) : nslots_(slots + 1) {
+  SG_CHECK(slots >= 1);
+  store_ = std::make_unique_for_overwrite<std::byte[]>(static_cast<u64>(nslots_) * kPageSize);
+  free_list_.reserve(slots);
+  for (u32 s = nslots_ - 1; s >= 1; --s) {
+    free_list_.push_back(s);
+  }
+}
+
+Result<u32> SwapSpace::WriteOut(const std::byte* page) {
+  u32 slot;
+  {
+    SpinGuard g(lock_);
+    if (free_list_.empty()) {
+      return Errno::kENOSPC;
+    }
+    slot = free_list_.back();
+    free_list_.pop_back();
+  }
+  std::memcpy(store_.get() + static_cast<u64>(slot) * kPageSize, page, kPageSize);
+  outs_.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+void SwapSpace::ReadInAndFree(u32 slot, std::byte* page) {
+  SG_CHECK(slot >= 1 && slot < nslots_);
+  std::memcpy(page, store_.get() + static_cast<u64>(slot) * kPageSize, kPageSize);
+  ins_.fetch_add(1, std::memory_order_relaxed);
+  Free(slot);
+}
+
+void SwapSpace::Peek(u32 slot, std::byte* page) const {
+  SG_CHECK(slot >= 1 && slot < nslots_);
+  std::memcpy(page, store_.get() + static_cast<u64>(slot) * kPageSize, kPageSize);
+}
+
+void SwapSpace::Free(u32 slot) {
+  SG_CHECK(slot >= 1 && slot < nslots_);
+  SpinGuard g(lock_);
+  free_list_.push_back(slot);
+}
+
+Result<u32> SwapSpace::Duplicate(u32 slot) {
+  SG_CHECK(slot >= 1 && slot < nslots_);
+  u32 fresh;
+  {
+    SpinGuard g(lock_);
+    if (free_list_.empty()) {
+      return Errno::kENOSPC;
+    }
+    fresh = free_list_.back();
+    free_list_.pop_back();
+  }
+  std::memcpy(store_.get() + static_cast<u64>(fresh) * kPageSize,
+              store_.get() + static_cast<u64>(slot) * kPageSize, kPageSize);
+  return fresh;
+}
+
+u32 SwapSpace::SlotsFree() const {
+  SpinGuard g(lock_);
+  return static_cast<u32>(free_list_.size());
+}
+
+}  // namespace sg

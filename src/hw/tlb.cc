@@ -1,0 +1,68 @@
+#include "hw/tlb.h"
+
+#include "base/check.h"
+
+namespace sg {
+
+namespace {
+constexpr bool IsPowerOfTwo(u32 v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+Tlb::Tlb(u32 entries) : nentries_(entries) {
+  SG_CHECK(IsPowerOfTwo(entries));
+  entries_.resize(nentries_);
+}
+
+TlbProbe Tlb::Probe(u64 vpn, bool want_write) {
+  SpinGuard g(lock_);
+  Entry& e = entries_[SlotFor(vpn)];
+  if (!e.valid || e.vpn != vpn) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return TlbProbe{TlbProbe::Kind::kMiss, 0};
+  }
+  if (want_write && !e.writable) {
+    // Counted as a miss for stats purposes: it enters the fault path.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return TlbProbe{TlbProbe::Kind::kWriteProt, e.pfn};
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return TlbProbe{TlbProbe::Kind::kHit, e.pfn};
+}
+
+void Tlb::Insert(u64 vpn, pfn_t pfn, bool writable) {
+  SpinGuard g(lock_);
+  Entry& e = entries_[SlotFor(vpn)];
+  e.vpn = vpn;
+  e.pfn = pfn;
+  e.valid = true;
+  e.writable = writable;
+}
+
+void Tlb::FlushAll() {
+  SpinGuard g(lock_);
+  for (Entry& e : entries_) {
+    e.valid = false;
+  }
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Tlb::FlushPage(u64 vpn) {
+  SpinGuard g(lock_);
+  Entry& e = entries_[SlotFor(vpn)];
+  if (e.valid && e.vpn == vpn) {
+    e.valid = false;
+  }
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Tlb::FlushRange(u64 vpn_begin, u64 vpn_end) {
+  SpinGuard g(lock_);
+  for (Entry& e : entries_) {
+    if (e.valid && e.vpn >= vpn_begin && e.vpn < vpn_end) {
+      e.valid = false;
+    }
+  }
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace sg

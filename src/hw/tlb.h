@@ -1,0 +1,101 @@
+// Software-managed TLB in the style of the MIPS R2000 the paper targets.
+//
+// Every simulated user load/store translates through a Tlb; a miss raises a
+// (software) TLB-miss exception handled by the VM fault path, which refills
+// the TLB after walking the pregion lists. Because the TLB is software
+// managed, the kernel can *synchronously* invalidate entries on every
+// processor before shrinking or detaching a shared region (§6.2) — a
+// running share-group member then immediately misses, enters the kernel,
+// and blocks on the shared read lock until the update completes.
+//
+// Each simulated process owns one Tlb (its translation context on whichever
+// processor runs it); a cross-processor shootdown is modelled by flushing
+// the Tlbs of all affected processes (see CpuSet::SynchronousFlush).
+#ifndef SRC_HW_TLB_H_
+#define SRC_HW_TLB_H_
+
+#include <atomic>
+#include <vector>
+
+#include "base/types.h"
+#include "sync/spinlock.h"
+
+namespace sg {
+
+// Result of a TLB probe.
+struct TlbProbe {
+  enum class Kind {
+    kHit,        // translation present with sufficient permission
+    kMiss,       // no translation: refill required (page fault path)
+    kWriteProt,  // translation present but read-only and a write was asked
+  };
+  Kind kind = Kind::kMiss;
+  pfn_t pfn = 0;
+};
+
+class Tlb {
+ public:
+  // The R2000 TLB holds 64 entries; the default follows it.
+  explicit Tlb(u32 entries = 64);
+  Tlb(const Tlb&) = delete;
+  Tlb& operator=(const Tlb&) = delete;
+
+  // Probes for virtual page `vpn`; `want_write` distinguishes a write access
+  // (read-only entries then report kWriteProt, which the fault path treats
+  // as a potential copy-on-write break).
+  TlbProbe Probe(u64 vpn, bool want_write);
+
+  // Atomic translate-and-access: if a matching entry with sufficient
+  // permission exists, runs `fn(pfn)` while the entry is pinned (the TLB
+  // lock is held, so a concurrent shootdown completes only after `fn`
+  // returns — this models the per-instruction atomicity of translation and
+  // access on real hardware) and returns true. Returns false on miss or
+  // write-protection; the caller then takes the fault path and retries.
+  // `fn` must be short and must not block.
+  template <typename Fn>
+  bool WithEntry(u64 vpn, bool want_write, Fn&& fn) {
+    SpinGuard g(lock_);
+    Entry& e = entries_[SlotFor(vpn)];
+    if (!e.valid || e.vpn != vpn || (want_write && !e.writable)) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    fn(e.pfn);
+    return true;
+  }
+
+  // Installs (or replaces) the translation for `vpn`.
+  void Insert(u64 vpn, pfn_t pfn, bool writable);
+
+  // Invalidation. FlushAll is what a cross-processor shootdown delivers.
+  void FlushAll();
+  void FlushPage(u64 vpn);
+  void FlushRange(u64 vpn_begin, u64 vpn_end);  // [begin, end)
+
+  u64 hits() const { return hits_.load(std::memory_order_relaxed); }
+  u64 misses() const { return misses_.load(std::memory_order_relaxed); }
+  u64 flushes() const { return flushes_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Entry {
+    u64 vpn = 0;
+    pfn_t pfn = 0;
+    bool valid = false;
+    bool writable = false;
+  };
+
+  u32 SlotFor(u64 vpn) const { return static_cast<u32>(vpn) & (nentries_ - 1); }
+
+  u32 nentries_;  // power of two; direct-mapped by low vpn bits
+  std::vector<Entry> entries_;
+  Spinlock lock_;  // owner thread probes/inserts; shootdowns flush remotely
+
+  std::atomic<u64> hits_{0};
+  std::atomic<u64> misses_{0};
+  std::atomic<u64> flushes_{0};
+};
+
+}  // namespace sg
+
+#endif  // SRC_HW_TLB_H_

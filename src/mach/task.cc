@@ -1,0 +1,91 @@
+#include "mach/task.h"
+
+#include "base/check.h"
+
+namespace sg {
+
+MachTask::~MachTask() { JoinAll(); }
+
+Result<int> MachTask::ThreadCreate(std::function<void(int)> fn) {
+  int tid;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    tid = next_tid_++;
+  }
+  auto t = std::make_unique<MachThread>(sched_, proc_.priority.load(std::memory_order_relaxed),
+                                        tid);
+  // Charge the per-thread kernel context: a user-area page and a kernel
+  // stack page, allocated from the same physical pool as everything else.
+  for (u32 i = 0; i < kThreadKernelPages; ++i) {
+    auto frame = mem_.AllocFrame();
+    if (!frame.ok()) {
+      for (u32 j = 0; j < i; ++j) {
+        mem_.Unref(t->kstack[j]);
+      }
+      return frame.error();
+    }
+    t->kstack[i] = frame.value();
+  }
+  MachThread* raw;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    raw = t.get();
+    threads_.emplace(tid, std::move(t));
+  }
+  raw->host = std::thread([this, raw, tid, fn = std::move(fn)] {
+    ScopedExecutionContext ctx(raw);
+    sched_.AcquireCpu(proc_.priority.load(std::memory_order_relaxed));
+    raw->has_cpu_ = true;
+    try {
+      fn(tid);
+    } catch (const ProcTerminated&) {
+      // A fatal event inside a thread ends just that thread here.
+    }
+    if (raw->has_cpu_) {
+      raw->has_cpu_ = false;
+      sched_.ReleaseCpu();
+    }
+  });
+  return tid;
+}
+
+Status MachTask::ThreadJoin(int tid) {
+  std::unique_ptr<MachThread> t;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = threads_.find(tid);
+    if (it == threads_.end()) {
+      return Errno::kESRCH;
+    }
+    t = std::move(it->second);
+    threads_.erase(it);
+  }
+  if (t->host.joinable()) {
+    t->host.join();
+  }
+  for (u32 i = 0; i < kThreadKernelPages; ++i) {
+    mem_.Unref(t->kstack[i]);
+  }
+  return Status::Ok();
+}
+
+void MachTask::JoinAll() {
+  for (;;) {
+    int tid;
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      if (threads_.empty()) {
+        return;
+      }
+      tid = threads_.begin()->first;
+    }
+    SG_CHECK(ThreadJoin(tid).ok());
+  }
+}
+
+u32 MachTask::LiveThreads() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return static_cast<u32>(threads_.size());
+}
+
+}  // namespace sg

@@ -1,0 +1,103 @@
+// Mach-flavored tasks and threads — the lightweight-process baseline the
+// paper argues against (§2–3): multiple threads of control inside ONE
+// process context, sharing *everything* with no selectivity. Used by the
+// E2 experiment ("the Mach kernel can create and destroy threads at 10
+// times the rate of the fork() system call") and as the contrast for the
+// "too much sharing" discussion.
+//
+// Each thread carries the kernel-side overhead the paper calls out —
+// "kernel context (the user area) and a kernel stack for each thread" —
+// modelled as physical frames charged per thread.
+#ifndef SRC_MACH_TASK_H_
+#define SRC_MACH_TASK_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "base/result.h"
+#include "base/types.h"
+#include "hw/phys_mem.h"
+#include "proc/proc.h"
+#include "proc/scheduler.h"
+
+namespace sg {
+
+// Kernel pages charged per thread (user-area page + kernel stack page).
+inline constexpr u32 kThreadKernelPages = 2;
+
+class MachTask;
+
+// The per-thread execution context: its own CPU-slot state, sharing the
+// task's process for everything else.
+class MachThread final : public ExecutionContext {
+ public:
+  MachThread(Scheduler& sched, int priority, int tid)
+      : sched_(sched), priority_(priority), tid_(tid) {}
+  ~MachThread() override = default;
+
+  int tid() const { return tid_; }
+
+  void WillBlock() override {
+    if (has_cpu_) {
+      has_cpu_ = false;
+      sched_.ReleaseCpu();
+    }
+  }
+  void DidWake() override {
+    if (!has_cpu_) {
+      sched_.AcquireCpu(priority_);
+      has_cpu_ = true;
+    }
+  }
+
+  std::thread host;
+  pfn_t kstack[kThreadKernelPages] = {0, 0};
+
+ private:
+  Scheduler& sched_;
+  int priority_;
+  int tid_;
+  bool has_cpu_ = false;
+
+  friend class MachTask;
+};
+
+class MachTask {
+ public:
+  // A task wraps an existing process: its address space, descriptors and
+  // identity are shared wholesale by every thread.
+  MachTask(Proc& proc, PhysMem& mem, Scheduler& sched)
+      : proc_(proc), mem_(mem), sched_(sched) {}
+  ~MachTask();
+  MachTask(const MachTask&) = delete;
+  MachTask& operator=(const MachTask&) = delete;
+
+  Proc& proc() { return proc_; }
+
+  // Spawns a thread running `fn(tid)` inside the task. Charges the
+  // per-thread kernel pages; kENOMEM when physical memory is exhausted.
+  Result<int> ThreadCreate(std::function<void(int)> fn);
+
+  // Joins a thread and releases its kernel pages. kESRCH for unknown tids.
+  Status ThreadJoin(int tid);
+
+  // Joins every live thread.
+  void JoinAll();
+
+  u32 LiveThreads() const;
+
+ private:
+  Proc& proc_;
+  PhysMem& mem_;
+  Scheduler& sched_;
+
+  mutable std::mutex mu_;
+  int next_tid_ = 1;
+  std::map<int, std::unique_ptr<MachThread>> threads_;
+};
+
+}  // namespace sg
+
+#endif  // SRC_MACH_TASK_H_

@@ -1,0 +1,45 @@
+#include "proc/deliver.h"
+
+namespace sg {
+
+void DeliverPendingSignals(Proc& p) {
+  for (;;) {
+    const u32 pending = p.sig_pending.load(std::memory_order_acquire) &
+                        ~p.sig_blocked.load(std::memory_order_relaxed);
+    if (pending == 0) {
+      return;
+    }
+    // Lowest-numbered pending signal first.
+    int sig = 1;
+    while ((pending & SigBit(sig)) == 0) {
+      ++sig;
+    }
+    p.sig_pending.fetch_and(~SigBit(sig), std::memory_order_acq_rel);
+
+    if (sig == kSigKill) {
+      throw ProcTerminated{0, sig};  // uncatchable
+    }
+    SigAction action;
+    {
+      std::lock_guard<std::mutex> l(p.sig_mu);
+      action = p.sig_actions[static_cast<u32>(sig)];
+    }
+    switch (action.disp) {
+      case SigDisp::kIgnore:
+        break;
+      case SigDisp::kHandler:
+        // Run the user handler on this (the process's own) thread, exactly
+        // where a real kernel would interpose the signal trampoline.
+        action.handler(sig);
+        p.sig_delivered.fetch_add(1, std::memory_order_acq_rel);
+        break;
+      case SigDisp::kDefault:
+        if (DefaultTerminates(sig)) {
+          throw ProcTerminated{0, sig};
+        }
+        break;  // SIGCHLD: discard
+    }
+  }
+}
+
+}  // namespace sg

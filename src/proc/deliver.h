@@ -1,0 +1,17 @@
+// Signal delivery (issig/psig): run at kernel entry and exit on the
+// process's own thread.
+#ifndef SRC_PROC_DELIVER_H_
+#define SRC_PROC_DELIVER_H_
+
+#include "proc/proc.h"
+
+namespace sg {
+
+// Delivers every pending, unblocked signal: runs handlers, ignores ignored
+// ones, and throws ProcTerminated for fatal dispositions (which unwinds to
+// the process's thread body for teardown).
+void DeliverPendingSignals(Proc& p);
+
+}  // namespace sg
+
+#endif  // SRC_PROC_DELIVER_H_

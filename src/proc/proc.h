@@ -1,0 +1,214 @@
+// Proc — the process table entry plus u-area of one simulated process.
+//
+// The share-group fields follow the paper directly:
+//   * p_shmask (§6.3) — the kernel copy of the share mask chosen at sproc();
+//   * p_flag sync bits (§6.3) — set by OTHER members when they modify a
+//     shared resource; tested in one AND on every kernel entry, and again
+//     after acquiring the update lock (the double-update race);
+//   * shaddr — pointer to the group's shared-address block (core/shaddr.h),
+//     linked through s_plink; opaque at this layer.
+//
+// A Proc is also the ExecutionContext of its host thread: blocking kernel
+// primitives release its simulated CPU and signal posters can kick it out
+// of interruptible sleeps.
+#ifndef SRC_PROC_PROC_H_
+#define SRC_PROC_PROC_H_
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/types.h"
+#include "fs/file.h"
+#include "fs/inode.h"
+#include "proc/scheduler.h"
+#include "proc/signal.h"
+#include "sync/execution_context.h"
+#include "vm/address_space.h"
+#include "vm/layout.h"
+
+namespace sg {
+
+class ShaddrBlock;  // core/shaddr.h — the share-group layer owns it
+
+// p_flag bits. The five sync bits say "your private copy of this resource
+// is stale; resynchronize from the shared-address block on kernel entry".
+inline constexpr u32 kPfSyncFds = 1u << 0;
+inline constexpr u32 kPfSyncDir = 1u << 1;
+inline constexpr u32 kPfSyncId = 1u << 2;
+inline constexpr u32 kPfSyncUmask = 1u << 3;
+inline constexpr u32 kPfSyncUlimit = 1u << 4;
+inline constexpr u32 kPfSyncAny =
+    kPfSyncFds | kPfSyncDir | kPfSyncId | kPfSyncUmask | kPfSyncUlimit;
+
+enum class ProcState {
+  kEmbryo,   // allocated, not yet started
+  kActive,   // host thread running (possibly sleeping in a primitive)
+  kZombie,   // exited; waiting to be reaped by the parent
+};
+
+class Proc final : public ExecutionContext {
+ public:
+  Proc(pid_t pid, PhysMem& mem, Scheduler& sched, u32 tlb_entries)
+      : pid(pid), as(mem, tlb_entries), sched_(sched) {}
+  ~Proc() override = default;
+  Proc(const Proc&) = delete;
+  Proc& operator=(const Proc&) = delete;
+
+  // ----- identity / tree -----
+  const pid_t pid;
+  // Parent pid rather than a pointer: a pid is safe to hold across the
+  // parent's own exit/reap (orphans are reparented to 0 = the kernel).
+  std::atomic<pid_t> ppid{0};
+  std::atomic<ProcState> state{ProcState::kEmbryo};
+  int exit_status = 0;
+  int term_signal = 0;  // nonzero if terminated by a signal
+
+  // ----- share group (core layer manages these) -----
+  ShaddrBlock* shaddr = nullptr;  // null when not in a share group
+  u32 p_shmask = 0;               // resources this member shares
+  std::atomic<u32> p_flag{0};     // sync bits (see above)
+  Proc* s_plink = nullptr;        // next member in the share group chain
+
+  // ----- virtual memory -----
+  AddressSpace as;
+  vaddr_t stack_base = 0;      // lowest address of this process's stack
+  u64 stack_max_pages = kDefaultStackMaxPages;  // PR_SETSTACKSIZE; inherited
+
+  // ----- u-area: filesystem state (share-group shareable resources) -----
+  FdTable fds;
+  Inode* cwd = nullptr;      // counted ref
+  Inode* rootdir = nullptr;  // counted ref
+  uid_t uid = 0;
+  gid_t gid = 0;
+  mode_t umask = 022;
+  u64 ulimit = u64{1} << 30;  // max file size a write may produce (bytes)
+
+  // ----- signals -----
+  std::atomic<u32> sig_pending{0};
+  std::atomic<u32> sig_blocked{0};
+  std::atomic<u64> sig_delivered{0};  // handlers run (sigpause uses this)
+  std::mutex sig_mu;  // guards actions
+  std::array<SigAction, kNsig> sig_actions{};
+
+  // ----- scheduling / execution -----
+  std::atomic<int> priority{0};  // scheduling priority (group-settable, see PR_SETGROUPPRI)
+  std::atomic<bool> suspended{false};  // PR_BLOCKGROUP: parked at next kernel entry
+  std::function<void()> entry;  // bound user program (set by the api layer)
+  std::thread thread;
+
+  // Per-process syscall counter (E4/E9 benchmarks).
+  std::atomic<u64> syscalls{0};
+
+  // Channel for pause(2)-style self-sleeps; signal posters wake it through
+  // the wakeup registration.
+  std::mutex wait_mu;
+  std::condition_variable wait_cv;
+
+  // ----- ExecutionContext -----
+  void WillBlock() override {
+    if (has_cpu_) {
+      has_cpu_ = false;
+      sched_.ReleaseCpu();
+    }
+  }
+  void DidWake() override {
+    if (!has_cpu_) {
+      sched_.AcquireCpu(priority.load(std::memory_order_relaxed));
+      has_cpu_ = true;
+    }
+  }
+  bool InterruptPending() override {
+    const u32 pending = sig_pending.load(std::memory_order_acquire) &
+                        ~sig_blocked.load(std::memory_order_relaxed);
+    if (pending == 0) {
+      return false;
+    }
+    // Ignored signals never interrupt a sleep.
+    std::lock_guard<std::mutex> l(sig_mu);
+    for (int sig = 1; sig < kNsig; ++sig) {
+      if ((pending & SigBit(sig)) == 0) {
+        continue;
+      }
+      if (sig == kSigKill || sig_actions[static_cast<u32>(sig)].disp != SigDisp::kIgnore) {
+        if (sig == kSigChld && sig_actions[static_cast<u32>(sig)].disp == SigDisp::kDefault) {
+          continue;  // default SIGCHLD is ignore
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+  void SetWakeup(std::condition_variable* cv, std::mutex* m) override {
+    std::lock_guard<std::mutex> l(wake_reg_mu_);
+    wake_cv_ = cv;
+    wake_m_ = m;
+  }
+  void ClearWakeup() override {
+    std::lock_guard<std::mutex> l(wake_reg_mu_);
+    wake_cv_ = nullptr;
+    wake_m_ = nullptr;
+  }
+
+  // Posts `sig` and kicks the process out of any interruptible sleep.
+  // Callable from any thread. If the caller already holds the mutex the
+  // sleeper registered (e.g. the kernel's reap lock during exit), pass it
+  // as `held` — the required serialization is then already in place and
+  // locking it again would self-deadlock.
+  void PostSignal(int sig, std::mutex* held = nullptr) {
+    sig_pending.fetch_or(SigBit(sig), std::memory_order_acq_rel);
+    std::condition_variable* cv = nullptr;
+    std::mutex* m = nullptr;
+    {
+      std::lock_guard<std::mutex> l(wake_reg_mu_);
+      cv = wake_cv_;
+      m = wake_m_;
+    }
+    if (cv != nullptr) {
+      // Serialize with the sleeper: once we hold m, the sleeper is either
+      // inside wait() (gets the notify) or past ClearWakeup (re-checks
+      // InterruptPending itself).
+      if (m != held) {
+        std::lock_guard<std::mutex> l(*m);
+      }
+      cv->notify_all();
+    }
+  }
+
+  // CPU-slot management for the thread body (api layer).
+  void AcquireCpuInitial() {
+    sched_.AcquireCpu(priority.load(std::memory_order_relaxed));
+    has_cpu_ = true;
+  }
+  void ReleaseCpuFinal() {
+    if (has_cpu_) {
+      has_cpu_ = false;
+      sched_.ReleaseCpu();
+    }
+  }
+  void YieldCpu() { sched_.Yield(priority.load(std::memory_order_relaxed)); }
+  bool has_cpu() const { return has_cpu_; }
+
+ private:
+  Scheduler& sched_;
+  bool has_cpu_ = false;  // owned by this proc's host thread
+
+  std::mutex wake_reg_mu_;
+  std::condition_variable* wake_cv_ = nullptr;
+  std::mutex* wake_m_ = nullptr;
+};
+
+// Thrown on the process's own thread to unwind out of user code when the
+// process terminates (exit(2), fatal signal, unhandled SIGSEGV).
+struct ProcTerminated {
+  int status;
+  int signal;  // 0 for a plain exit
+};
+
+}  // namespace sg
+
+#endif  // SRC_PROC_PROC_H_

@@ -1,0 +1,108 @@
+// The system process table: pid allocation, lookup, and lifetime of Proc
+// objects (freed when the parent reaps them).
+#ifndef SRC_PROC_PROC_TABLE_H_
+#define SRC_PROC_PROC_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "base/id_allocator.h"
+#include "base/result.h"
+#include "hw/phys_mem.h"
+#include "proc/proc.h"
+#include "proc/scheduler.h"
+
+namespace sg {
+
+class ProcTable {
+ public:
+  ProcTable(PhysMem& mem, Scheduler& sched, u32 max_procs, u32 tlb_entries)
+      : mem_(mem), sched_(sched), tlb_entries_(tlb_entries), pids_(1, max_procs),
+        max_procs_(max_procs) {}
+  ProcTable(const ProcTable&) = delete;
+  ProcTable& operator=(const ProcTable&) = delete;
+
+  // Allocates a Proc with a fresh pid; kEAGAIN when the table is full.
+  Result<Proc*> Alloc() {
+    std::lock_guard<std::mutex> l(mu_);
+    auto pid = pids_.Allocate();
+    if (!pid.ok()) {
+      return pid.error();
+    }
+    auto p = std::make_unique<Proc>(static_cast<pid_t>(pid.value()), mem_, sched_, tlb_entries_);
+    Proc* raw = p.get();
+    table_.emplace(raw->pid, std::move(p));
+    return raw;
+  }
+
+  // Destroys a reaped process and recycles its pid.
+  void Free(Proc* p) {
+    std::lock_guard<std::mutex> l(mu_);
+    const pid_t pid = p->pid;
+    SG_CHECK(table_.erase(pid) == 1);
+    pids_.Free(pid);
+  }
+
+  Proc* Find(pid_t pid) {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = table_.find(pid);
+    return it == table_.end() ? nullptr : it->second.get();
+  }
+
+  // Runs `fn(proc)` with the table locked, so the Proc cannot be freed out
+  // from under the callback (Free also takes the lock). `fn` must not call
+  // back into the table and must not block. Returns false if `pid` is gone.
+  template <typename Fn>
+  bool WithProc(pid_t pid, Fn&& fn) {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = table_.find(pid);
+    if (it == table_.end()) {
+      return false;
+    }
+    fn(*it->second);
+    return true;
+  }
+
+  std::vector<Proc*> Snapshot() {
+    std::lock_guard<std::mutex> l(mu_);
+    std::vector<Proc*> out;
+    out.reserve(table_.size());
+    for (auto& [pid, p] : table_) {
+      out.push_back(p.get());
+    }
+    return out;
+  }
+
+  // Runs `fn(proc)` for every live process under the table lock — entries
+  // cannot be freed mid-scan (use instead of Snapshot when the scan
+  // dereferences the procs). `fn` must not re-enter the table or block.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    std::lock_guard<std::mutex> l(mu_);
+    for (auto& [pid, p] : table_) {
+      fn(*p);
+    }
+  }
+
+  u64 Count() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return table_.size();
+  }
+
+  u32 max_procs() const { return max_procs_; }
+
+ private:
+  PhysMem& mem_;
+  Scheduler& sched_;
+  u32 tlb_entries_;
+  mutable std::mutex mu_;
+  IdAllocator pids_;
+  u32 max_procs_;
+  std::map<pid_t, std::unique_ptr<Proc>> table_;
+};
+
+}  // namespace sg
+
+#endif  // SRC_PROC_PROC_TABLE_H_

@@ -1,0 +1,66 @@
+#include "proc/scheduler.h"
+
+#include <thread>
+
+#include "base/check.h"
+
+namespace sg {
+
+Scheduler::Scheduler(u32 ncpus) : ncpus_(ncpus), free_(ncpus) { SG_CHECK(ncpus >= 1); }
+
+void Scheduler::AcquireCpu(int priority) {
+  std::unique_lock<std::mutex> l(m_);
+  if (free_ > 0 && waiters_.empty()) {
+    --free_;
+    return;
+  }
+  const Ticket me{-priority, next_seq_++};
+  waiters_.insert(me);
+  cv_.wait(l, [&] { return free_ > 0 && *waiters_.begin() == me; });
+  waiters_.erase(me);
+  --free_;
+  ++switches_;
+  if (free_ > 0 && !waiters_.empty()) {
+    cv_.notify_all();  // more slots may be grantable
+  }
+}
+
+void Scheduler::ReleaseCpu() {
+  {
+    std::lock_guard<std::mutex> l(m_);
+    SG_CHECK(free_ < ncpus_);
+    ++free_;
+  }
+  cv_.notify_all();
+}
+
+void Scheduler::Yield(int priority) {
+  {
+    std::lock_guard<std::mutex> l(m_);
+    // Hand the CPU over only to an equal-or-higher-priority waiter: a
+    // high-priority runner (e.g. a gang-prioritized share group) is never
+    // preempted by background work.
+    if (waiters_.empty() || -waiters_.begin()->first < priority) {
+      // No simulated contention worth yielding to — but the host may be
+      // narrower than the simulated machine, so give other RUNNING
+      // processes' host threads a chance (a true multiprocessor runs them
+      // concurrently anyway).
+      std::this_thread::yield();
+      return;
+    }
+  }
+  ReleaseCpu();
+  AcquireCpu(priority);
+}
+
+u32 Scheduler::FreeCpus() const {
+  std::lock_guard<std::mutex> l(m_);
+  return free_;
+}
+
+u64 Scheduler::ContextSwitches() const {
+  std::lock_guard<std::mutex> l(m_);
+  return switches_;
+}
+
+}  // namespace sg

@@ -1,0 +1,56 @@
+// Scheduler — the simulated-processor gate. The machine has N CPUs; a
+// process executes (user code or its own kernel code) only while holding a
+// CPU slot. Blocking primitives release the slot through ExecutionContext
+// and reacquire it on wake, so an M-process workload on an N-CPU
+// configuration really does run at most N-wide — the property the paper's
+// self-scheduling and gang-scheduling discussions (§3, §8) depend on.
+//
+// Slots are granted to the highest-priority waiter (ties FIFO). Execution
+// between scheduling points is cooperative, as in a non-preemptive V.3
+// kernel path.
+#ifndef SRC_PROC_SCHEDULER_H_
+#define SRC_PROC_SCHEDULER_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <set>
+
+#include "base/types.h"
+
+namespace sg {
+
+class Scheduler {
+ public:
+  explicit Scheduler(u32 ncpus);
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Blocks until a CPU slot is free and the caller is the best waiter.
+  // Higher `priority` wins; equal priorities are FIFO.
+  void AcquireCpu(int priority);
+
+  void ReleaseCpu();
+
+  // Gives other runnable processes a chance to run: if anyone is waiting
+  // for a slot, release and reacquire (round-robin among equals).
+  void Yield(int priority);
+
+  u32 ncpus() const { return ncpus_; }
+  u32 FreeCpus() const;
+  u64 ContextSwitches() const;
+
+ private:
+  using Ticket = std::pair<i64, u64>;  // (-priority, seq): smallest = best
+
+  u32 ncpus_;
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  u32 free_;
+  u64 next_seq_ = 0;
+  std::set<Ticket> waiters_;
+  u64 switches_ = 0;
+};
+
+}  // namespace sg
+
+#endif  // SRC_PROC_SCHEDULER_H_

@@ -1,0 +1,48 @@
+// Signals — kept working for share-group members exactly as for normal
+// processes ("signals, system calls, traps and other process events should
+// happen in an expected way", §3). Delivery happens at kernel entry/exit on
+// the process's own thread; interruptible sleeps return kEINTR when a
+// signal is posted.
+#ifndef SRC_PROC_SIGNAL_H_
+#define SRC_PROC_SIGNAL_H_
+
+#include <functional>
+
+#include "base/types.h"
+
+namespace sg {
+
+inline constexpr int kNsig = 32;
+
+inline constexpr int kSigHup = 1;
+inline constexpr int kSigInt = 2;
+inline constexpr int kSigQuit = 3;
+inline constexpr int kSigKill = 9;   // cannot be caught or ignored
+inline constexpr int kSigSegv = 11;  // posted by the VM fault path
+inline constexpr int kSigPipe = 13;
+inline constexpr int kSigAlrm = 14;
+inline constexpr int kSigTerm = 15;
+inline constexpr int kSigUsr1 = 16;
+inline constexpr int kSigUsr2 = 17;
+inline constexpr int kSigChld = 18;  // default: ignored
+
+constexpr bool ValidSignal(int sig) { return sig >= 1 && sig < kNsig; }
+constexpr u32 SigBit(int sig) { return 1u << sig; }
+
+enum class SigDisp {
+  kDefault,  // terminate the process (except SIGCHLD: ignore)
+  kIgnore,
+  kHandler,
+};
+
+struct SigAction {
+  SigDisp disp = SigDisp::kDefault;
+  std::function<void(int)> handler;  // used when disp == kHandler
+};
+
+// True if the default action for `sig` terminates the process.
+constexpr bool DefaultTerminates(int sig) { return sig != kSigChld; }
+
+}  // namespace sg
+
+#endif  // SRC_PROC_SIGNAL_H_

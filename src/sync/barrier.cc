@@ -1,0 +1,30 @@
+#include "sync/barrier.h"
+
+#include "sync/execution_context.h"
+
+namespace sg {
+
+void Barrier::Arrive() {
+  ExecutionContext* ctx = CurrentExecutionContext();
+  bool slept = false;
+  {
+    std::unique_lock<std::mutex> l(m_);
+    const u64 gen = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      if (ctx != nullptr) {
+        ctx->WillBlock();
+      }
+      slept = true;
+      cv_.wait(l, [&] { return generation_ != gen; });
+    }
+  }
+  if (slept && ctx != nullptr) {
+    ctx->DidWake();
+  }
+}
+
+}  // namespace sg

@@ -1,0 +1,33 @@
+// Reusable sleeping barrier for kernel-side coordination in tests and the
+// gang-scheduling extension. Releases the simulated CPU while waiting.
+#ifndef SRC_SYNC_BARRIER_H_
+#define SRC_SYNC_BARRIER_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "base/types.h"
+
+namespace sg {
+
+class Barrier {
+ public:
+  explicit Barrier(u32 parties) : parties_(parties) {}
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  // Blocks until `parties` threads have arrived; then all are released and
+  // the barrier resets for reuse.
+  void Arrive();
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  u32 parties_;
+  u32 arrived_ = 0;
+  u64 generation_ = 0;
+};
+
+}  // namespace sg
+
+#endif  // SRC_SYNC_BARRIER_H_

@@ -1,0 +1,13 @@
+#include "sync/execution_context.h"
+
+namespace sg {
+
+namespace {
+thread_local ExecutionContext* tls_context = nullptr;
+}  // namespace
+
+ExecutionContext* CurrentExecutionContext() { return tls_context; }
+
+void SetCurrentExecutionContext(ExecutionContext* ctx) { tls_context = ctx; }
+
+}  // namespace sg

@@ -1,0 +1,75 @@
+#include "sync/semaphore.h"
+
+#include "sync/execution_context.h"
+
+namespace sg {
+
+Status Semaphore::P(SleepMode mode) {
+  ExecutionContext* ctx = CurrentExecutionContext();
+  bool slept = false;
+  Status st = Status::Ok();
+  {
+    std::unique_lock<std::mutex> l(m_);
+    for (;;) {
+      if (count_ > 0) {
+        --count_;
+        break;
+      }
+      // Going to sleep. Register the wakeup channel *before* the final
+      // pending-signal check so a racing signal poster either sees the
+      // registration (and notifies cv_) or posted before the check below.
+      if (ctx != nullptr) {
+        ctx->WillBlock();
+        ctx->SetWakeup(&cv_, &m_);
+      }
+      if (mode == SleepMode::kInterruptible && ctx != nullptr && ctx->InterruptPending()) {
+        if (ctx != nullptr) {
+          ctx->ClearWakeup();
+        }
+        st = Errno::kEINTR;
+        break;
+      }
+      slept = true;
+      ++sleeps_;
+      cv_.wait(l);
+      if (ctx != nullptr) {
+        ctx->ClearWakeup();
+      }
+    }
+  }
+  if (slept && ctx != nullptr) {
+    ctx->DidWake();  // may block; no internal mutex held here
+  }
+  return st;
+}
+
+bool Semaphore::TryP() {
+  std::lock_guard<std::mutex> l(m_);
+  if (count_ > 0) {
+    --count_;
+    return true;
+  }
+  return false;
+}
+
+void Semaphore::V() {
+  {
+    std::lock_guard<std::mutex> l(m_);
+    ++count_;
+  }
+  // notify_all: sleepers re-check the count; interrupted sleepers must also
+  // get a chance to observe their pending signal.
+  cv_.notify_all();
+}
+
+i64 Semaphore::count() const {
+  std::lock_guard<std::mutex> l(m_);
+  return count_;
+}
+
+u64 Semaphore::sleeps() const {
+  std::lock_guard<std::mutex> l(m_);
+  return sleeps_;
+}
+
+}  // namespace sg

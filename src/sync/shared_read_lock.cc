@@ -1,0 +1,96 @@
+#include "sync/shared_read_lock.h"
+
+#include "base/check.h"
+#include "sync/execution_context.h"
+
+namespace sg {
+
+void SharedReadLock::SleepOnChannel() {
+  // Caller holds acclck_ and has already incremented waitcnt_.
+  ExecutionContext* ctx = CurrentExecutionContext();
+  {
+    std::unique_lock<std::mutex> cl(chan_m_);
+    const u64 gen = chan_gen_;
+    // Release the spinlock only after chan_m_ is held: a releaser must take
+    // acclck_ (still ours) before deciding to wake, and must take chan_m_
+    // to bump the generation, so the wakeup cannot be lost.
+    acclck_.Unlock();
+    if (ctx != nullptr) {
+      ctx->WillBlock();
+    }
+    chan_cv_.wait(cl, [&] { return chan_gen_ != gen; });
+  }
+  if (ctx != nullptr) {
+    ctx->DidWake();  // may block for a CPU; no internal mutex held
+  }
+  acclck_.Lock();
+}
+
+void SharedReadLock::WakeChannel() {
+  {
+    std::lock_guard<std::mutex> cl(chan_m_);
+    ++chan_gen_;
+  }
+  chan_cv_.notify_all();
+}
+
+void SharedReadLock::AcquireRead() {
+  acclck_.Lock();
+  while (acccnt_ < 0) {
+    ++waitcnt_;
+    read_waits_.fetch_add(1, std::memory_order_relaxed);
+    SleepOnChannel();
+    --waitcnt_;
+  }
+  ++acccnt_;
+  acclck_.Unlock();
+  reads_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SharedReadLock::ReleaseRead() {
+  acclck_.Lock();
+  SG_DCHECK(acccnt_ > 0);
+  --acccnt_;
+  const bool wake = (acccnt_ == 0 && waitcnt_ > 0);
+  if (wake) {
+    WakeChannel();
+  }
+  acclck_.Unlock();
+}
+
+void SharedReadLock::AcquireUpdate() {
+  acclck_.Lock();
+  while (acccnt_ != 0) {
+    ++waitcnt_;
+    update_waits_.fetch_add(1, std::memory_order_relaxed);
+    SleepOnChannel();
+    --waitcnt_;
+  }
+  acccnt_ = -1;
+  acclck_.Unlock();
+  updates_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool SharedReadLock::TryAcquireUpdate() {
+  acclck_.Lock();
+  if (acccnt_ != 0) {
+    acclck_.Unlock();
+    return false;
+  }
+  acccnt_ = -1;
+  acclck_.Unlock();
+  updates_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void SharedReadLock::ReleaseUpdate() {
+  acclck_.Lock();
+  SG_DCHECK(acccnt_ == -1);
+  acccnt_ = 0;
+  if (waitcnt_ > 0) {
+    WakeChannel();
+  }
+  acclck_.Unlock();
+}
+
+}  // namespace sg

@@ -1,0 +1,178 @@
+#include "vm/access.h"
+
+#include <optional>
+
+#include "base/log.h"
+#include "sync/shared_read_lock.h"
+#include "vm/pager.h"
+
+namespace sg {
+
+namespace {
+// One fault-resolution attempt; HandleFault wraps it with the reclaim loop.
+Status HandleFaultOnce(AddressSpace& as, vaddr_t va, bool want_write);
+}  // namespace
+
+Status HandleFault(AddressSpace& as, vaddr_t va, bool want_write) {
+  for (;;) {
+    Status st = HandleFaultOnce(as, va, want_write);
+    if (st.error() != Errno::kENOMEM) {
+      return st;
+    }
+    // Out of frames: wake the pager against our own visible image and
+    // retry; give up only when nothing could be stolen.
+    if (ReclaimPages(as, 64) == 0) {
+      return st;
+    }
+  }
+}
+
+namespace {
+
+Status HandleFaultOnce(AddressSpace& as, vaddr_t va, bool want_write) {
+  as.faults.fetch_add(1, std::memory_order_relaxed);
+
+  // §6.2: every scan of the pregion lists runs under the shared read lock;
+  // if an updater (sbrk, mmap, shrink, fork, exec) holds it, we block here —
+  // this is precisely how a member that trapped after a shootdown waits for
+  // the VM modification to complete.
+  SharedSpace* ss = as.shared();
+  std::optional<ReadGuard> guard;
+  if (ss != nullptr) {
+    guard.emplace(ss->lock());
+  }
+
+  // Private pregions first, then the group's shared list.
+  Pregion* pr = as.FindPrivate(va);
+  bool shared_pr = false;
+  if (pr == nullptr && ss != nullptr) {
+    pr = ss->Find(va);
+    shared_pr = (pr != nullptr);
+  }
+  if (pr == nullptr) {
+    return Errno::kEFAULT;
+  }
+  if (want_write && (pr->prot & kProtWrite) == 0) {
+    return Errno::kEFAULT;
+  }
+  if (!want_write && (pr->prot & kProtRead) == 0) {
+    return Errno::kEFAULT;
+  }
+
+  auto res = pr->region->Resolve(pr->PageIndex(va), want_write);
+  if (!res.ok()) {
+    return res.status();
+  }
+  if (res.value().frame_changed) {
+    as.cow_breaks.fetch_add(1, std::memory_order_relaxed);
+    if (shared_pr && ss != nullptr) {
+      // A COW break replaced a frame in the group-visible page table: other
+      // members' TLBs may cache the old frame. Drop those entries so their
+      // next access refaults onto the new frame.
+      ss->FlushPageAllMembers(PageOf(va));
+    }
+  }
+  const bool tlb_writable = res.value().writable && (pr->prot & kProtWrite) != 0;
+  as.tlb().Insert(PageOf(va), res.value().pfn, tlb_writable);
+  return Status::Ok();
+}
+
+}  // namespace
+
+namespace {
+
+// Shared page-walking loop for the bulk transfer routines.
+template <typename PageFn>
+Status ForEachUserPage(AddressSpace& as, vaddr_t ua, u64 len, bool want_write, PageFn&& fn) {
+  u64 done = 0;
+  while (done < len) {
+    const vaddr_t va = ua + done;
+    const u64 page_off = va & kPageMask;
+    const u64 chunk = std::min<u64>(kPageSize - page_off, len - done);
+    for (;;) {
+      const bool hit = as.tlb().WithEntry(PageOf(va), want_write, [&](pfn_t pfn) {
+        fn(as.mem().FrameData(pfn) + page_off, done, chunk);
+      });
+      if (hit) {
+        break;
+      }
+      SG_RETURN_IF_ERROR(HandleFault(as, va, want_write));
+    }
+    done += chunk;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status CopyIn(AddressSpace& as, void* dst, vaddr_t src, u64 len) {
+  return ForEachUserPage(as, src, len, /*want_write=*/false,
+                         [dst](std::byte* page, u64 done, u64 chunk) {
+                           std::memcpy(static_cast<std::byte*>(dst) + done, page, chunk);
+                         });
+}
+
+Status CopyOut(AddressSpace& as, vaddr_t dst, const void* src, u64 len) {
+  return ForEachUserPage(as, dst, len, /*want_write=*/true,
+                         [src](std::byte* page, u64 done, u64 chunk) {
+                           std::memcpy(page, static_cast<const std::byte*>(src) + done, chunk);
+                         });
+}
+
+Status FillUser(AddressSpace& as, vaddr_t dst, u8 byte, u64 len) {
+  return ForEachUserPage(as, dst, len, /*want_write=*/true,
+                         [byte](std::byte* page, u64, u64 chunk) {
+                           std::memset(page, byte, chunk);
+                         });
+}
+
+namespace {
+
+template <typename Fn>
+Result<u32> AtomicOp32(AddressSpace& as, vaddr_t va, bool want_write, Fn&& fn) {
+  if (va % 4 != 0) {
+    return Errno::kEFAULT;
+  }
+  u32 out = 0;
+  for (;;) {
+    const bool hit = as.tlb().WithEntry(PageOf(va), want_write, [&](pfn_t pfn) {
+      auto* word = reinterpret_cast<u32*>(as.mem().FrameData(pfn) + (va & kPageMask));
+      out = fn(std::atomic_ref<u32>(*word));
+    });
+    if (hit) {
+      return out;
+    }
+    SG_RETURN_IF_ERROR(HandleFault(as, va, want_write));
+  }
+}
+
+}  // namespace
+
+Result<u32> AtomicLoad32(AddressSpace& as, vaddr_t va) {
+  return AtomicOp32(as, va, /*want_write=*/false,
+                    [](std::atomic_ref<u32> w) { return w.load(std::memory_order_acquire); });
+}
+
+Status AtomicStore32(AddressSpace& as, vaddr_t va, u32 value) {
+  auto r = AtomicOp32(as, va, /*want_write=*/true, [value](std::atomic_ref<u32> w) {
+    w.store(value, std::memory_order_release);
+    return value;
+  });
+  return r.status();
+}
+
+Result<u32> AtomicCas32(AddressSpace& as, vaddr_t va, u32 expected, u32 desired) {
+  return AtomicOp32(as, va, /*want_write=*/true, [expected, desired](std::atomic_ref<u32> w) {
+    u32 e = expected;
+    w.compare_exchange_strong(e, desired, std::memory_order_acq_rel);
+    return e;  // previous value
+  });
+}
+
+Result<u32> AtomicFetchAdd32(AddressSpace& as, vaddr_t va, u32 delta) {
+  return AtomicOp32(as, va, /*want_write=*/true, [delta](std::atomic_ref<u32> w) {
+    return w.fetch_add(delta, std::memory_order_acq_rel);
+  });
+}
+
+}  // namespace sg

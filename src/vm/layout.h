@@ -1,0 +1,33 @@
+// Virtual address space layout of a simulated process (32-bit layout like
+// the MIPS R2000 target).
+//
+//   0x0000'1000  text (program code), read/execute
+//   0x1000'0000  data (initialized data + bss + brk heap, grows up)
+//   0x2000'0000  PRDA — process data area, ONE page, always private (§5.1)
+//   0x3000'0000  arena: mmap / SysV shared memory attach range (grows up)
+//   0x7000'0000  stack top; stacks are carved downward from here. Each
+//                sproc() child gets its own non-overlapping stack.
+#ifndef SRC_VM_LAYOUT_H_
+#define SRC_VM_LAYOUT_H_
+
+#include "base/types.h"
+
+namespace sg {
+
+inline constexpr vaddr_t kTextBase = 0x0000'1000;
+inline constexpr vaddr_t kDataBase = 0x1000'0000;
+inline constexpr vaddr_t kPrdaBase = 0x2000'0000;
+inline constexpr vaddr_t kArenaBase = 0x3000'0000;
+inline constexpr vaddr_t kArenaEnd = 0x6000'0000;
+inline constexpr vaddr_t kStackTop = 0x7000'0000;
+
+// Default maximum stack size (pages); adjustable per process with
+// prctl(PR_SETSTACKSIZE). 1 MiB default.
+inline constexpr u64 kDefaultStackMaxPages = 256;
+
+// Hard ceiling for PR_SETSTACKSIZE: 64 MiB.
+inline constexpr u64 kMaxStackMaxPages = 16384;
+
+}  // namespace sg
+
+#endif  // SRC_VM_LAYOUT_H_

@@ -1,0 +1,30 @@
+// PageSource — the backing store of a file-backed region (mmap'd files).
+//
+// vm/ stays filesystem-agnostic: the api layer adapts an inode to this
+// interface. A region with a source fills invalid pages from it instead of
+// demand-zeroing, and WriteBack() pushes dirty pages of a shared mapping
+// back out (msync / munmap of a MAP_SHARED-style mapping).
+#ifndef SRC_VM_PAGE_SOURCE_H_
+#define SRC_VM_PAGE_SOURCE_H_
+
+#include <cstddef>
+
+#include "base/types.h"
+
+namespace sg {
+
+class PageSource {
+ public:
+  virtual ~PageSource() = default;
+
+  // Reads up to kPageSize bytes at byte offset `off` into `dst` (already
+  // zero-filled); short reads past EOF leave the zero tail in place.
+  virtual void ReadPage(u64 off, std::byte* dst) = 0;
+
+  // Writes `len` bytes at byte offset `off` from `src`.
+  virtual void WritePage(u64 off, const std::byte* src, u64 len) = 0;
+};
+
+}  // namespace sg
+
+#endif  // SRC_VM_PAGE_SOURCE_H_

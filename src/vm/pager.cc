@@ -1,0 +1,36 @@
+#include "vm/pager.h"
+
+#include "sync/shared_read_lock.h"
+
+namespace sg {
+
+u64 ReclaimPages(AddressSpace& as, u64 target) {
+  if (as.mem().swap_device() == nullptr || target == 0) {
+    return 0;
+  }
+  u64 stolen = 0;
+  Tlb& tlb = as.tlb();
+  for (auto& pr : as.private_pregions()) {
+    if (stolen >= target) {
+      break;
+    }
+    const u64 vpn0 = PageOf(pr->base);
+    stolen += pr->region->StealPages(target - stolen,
+                                     [&](u64 idx) { tlb.FlushPage(vpn0 + idx); });
+  }
+  SharedSpace* ss = as.shared();
+  if (ss != nullptr && stolen < target) {
+    ReadGuard g(ss->lock());
+    for (auto& pr : ss->pregions()) {
+      if (stolen >= target) {
+        break;
+      }
+      const u64 vpn0 = PageOf(pr->base);
+      stolen += pr->region->StealPages(
+          target - stolen, [&](u64 idx) { ss->FlushPageAllMembers(vpn0 + idx); });
+    }
+  }
+  return stolen;
+}
+
+}  // namespace sg

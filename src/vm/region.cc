@@ -1,0 +1,286 @@
+#include "vm/region.h"
+
+#include <cstring>
+
+#include "base/check.h"
+#include "hw/swap.h"
+#include "vm/page_source.h"
+
+namespace sg {
+
+const char* RegionTypeName(RegionType t) {
+  switch (t) {
+    case RegionType::kText: return "text";
+    case RegionType::kData: return "data";
+    case RegionType::kStack: return "stack";
+    case RegionType::kAnon: return "anon";
+    case RegionType::kShm: return "shm";
+    case RegionType::kFile: return "file";
+    case RegionType::kPrda: return "prda";
+  }
+  return "?";
+}
+
+Region::Region(PhysMem& mem, RegionType type, u64 pages) : mem_(mem), type_(type) {
+  ptes_.resize(pages);
+}
+
+std::shared_ptr<Region> Region::Alloc(PhysMem& mem, RegionType type, u64 pages) {
+  return std::shared_ptr<Region>(new Region(mem, type, pages));
+}
+
+std::shared_ptr<Region> Region::AllocBacked(PhysMem& mem, u64 pages,
+                                            std::shared_ptr<PageSource> source, u64 source_off,
+                                            u64 source_len, bool shared_mapping) {
+  auto r = std::shared_ptr<Region>(new Region(mem, RegionType::kFile, pages));
+  r->source_ = std::move(source);
+  r->source_off_ = source_off;
+  r->source_len_ = source_len;
+  r->shared_mapping_ = shared_mapping;
+  return r;
+}
+
+bool Region::SharedAcrossFork() const {
+  switch (type_) {
+    case RegionType::kText:
+    case RegionType::kShm:
+      return true;  // immutable / genuinely shared
+    case RegionType::kFile:
+      return shared_mapping_;  // MAP_SHARED-style mappings stay shared
+    default:
+      return false;  // copy-on-write
+  }
+}
+
+Region::~Region() {
+  for (Pte& pte : ptes_) {
+    if (pte.valid) {
+      mem_.Unref(pte.pfn);
+    } else if (pte.swap_slot != 0) {
+      mem_.swap_device()->Free(pte.swap_slot);
+    }
+  }
+}
+
+Result<PageResolution> Region::Resolve(u64 idx, bool want_write) {
+  std::lock_guard<std::mutex> l(lock_);
+  if (idx >= ptes_.size()) {
+    return Errno::kEFAULT;
+  }
+  Pte& pte = ptes_[idx];
+  pte.referenced = true;  // clock bit for the pager
+  // Shared file mappings track dirtiness: writes must fault once so the
+  // dirty bit is set before write access is granted.
+  const bool track_dirty = NeedsWriteBack();
+  if (want_write && track_dirty) {
+    pte.dirty = true;
+  }
+  if (!pte.valid) {
+    auto frame = mem_.AllocFrame();
+    if (!frame.ok()) {
+      return frame.error();
+    }
+    if (pte.swap_slot != 0) {
+      // Major fault: the pager stole this page; bring it back in.
+      mem_.swap_device()->ReadInAndFree(pte.swap_slot, mem_.FrameData(frame.value()));
+      pte.swap_slot = 0;
+    } else if (source_ != nullptr) {
+      // File-backed: fill from the source (frame is pre-zeroed, so the
+      // tail past EOF stays zero).
+      source_->ReadPage(source_off_ + idx * kPageSize, mem_.FrameData(frame.value()));
+    }
+    // else: demand zero — first touch of the page.
+    pte.pfn = frame.value();
+    pte.valid = true;
+    pte.cow = false;
+    return PageResolution{pte.pfn, !track_dirty || pte.dirty, false};
+  }
+  if (pte.cow && want_write) {
+    // Copy-on-write break.
+    if (mem_.TakeExclusive(pte.pfn)) {
+      // Sole owner already: just regain write permission.
+      pte.cow = false;
+      return PageResolution{pte.pfn, true, false};
+    }
+    auto frame = mem_.AllocFrame();
+    if (!frame.ok()) {
+      return frame.error();
+    }
+    std::memcpy(mem_.FrameData(frame.value()), mem_.FrameData(pte.pfn), kPageSize);
+    mem_.Unref(pte.pfn);
+    pte.pfn = frame.value();
+    pte.cow = false;
+    return PageResolution{pte.pfn, true, true};
+  }
+  // Present page: COW pages stay read-only so a later write traps, and
+  // clean pages of a writeback mapping stay read-only so the first write
+  // marks them dirty.
+  return PageResolution{pte.pfn, !pte.cow && (!track_dirty || pte.dirty), false};
+}
+
+Status Region::WriteBack() {
+  std::lock_guard<std::mutex> l(lock_);
+  if (!NeedsWriteBack()) {
+    return Errno::kEINVAL;
+  }
+  for (u64 idx = 0; idx < ptes_.size(); ++idx) {
+    Pte& pte = ptes_[idx];
+    if (!pte.dirty) {
+      continue;
+    }
+    const u64 off = idx * kPageSize;
+    if (off >= source_len_) {
+      continue;  // the zero tail past the mapped length never writes back
+    }
+    const u64 len = std::min<u64>(kPageSize, source_len_ - off);
+    if (pte.valid) {
+      source_->WritePage(source_off_ + off, mem_.FrameData(pte.pfn), len);
+    } else if (pte.swap_slot != 0) {
+      // The pager stole a dirty page; push the swap copy out.
+      std::byte page[kPageSize];
+      mem_.swap_device()->Peek(pte.swap_slot, page);
+      source_->WritePage(source_off_ + off, page, len);
+    }
+    pte.dirty = false;
+  }
+  return Status::Ok();
+}
+
+Status Region::GrowTo(u64 new_pages) {
+  std::lock_guard<std::mutex> l(lock_);
+  if (new_pages < ptes_.size()) {
+    return Errno::kEINVAL;
+  }
+  ptes_.resize(new_pages);
+  return Status::Ok();
+}
+
+Status Region::ShrinkTo(u64 new_pages) {
+  std::lock_guard<std::mutex> l(lock_);
+  if (new_pages > ptes_.size()) {
+    return Errno::kEINVAL;
+  }
+  for (u64 i = new_pages; i < ptes_.size(); ++i) {
+    if (ptes_[i].valid) {
+      mem_.Unref(ptes_[i].pfn);
+    } else if (ptes_[i].swap_slot != 0) {
+      mem_.swap_device()->Free(ptes_[i].swap_slot);
+    }
+  }
+  ptes_.resize(new_pages);
+  return Status::Ok();
+}
+
+std::shared_ptr<Region> Region::DupCow() {
+  std::lock_guard<std::mutex> l(lock_);
+  auto twin = std::shared_ptr<Region>(new Region(mem_, type_, ptes_.size()));
+  // A private file mapping's twin keeps the backing so untouched pages
+  // still fill from the file; it never writes back.
+  twin->source_ = source_;
+  twin->source_off_ = source_off_;
+  twin->source_len_ = source_len_;
+  twin->shared_mapping_ = false;
+  for (u64 i = 0; i < ptes_.size(); ++i) {
+    Pte& src = ptes_[i];
+    if (src.valid) {
+      mem_.Ref(src.pfn);
+      src.cow = true;  // source loses write permission until it re-faults
+      twin->ptes_[i].pfn = src.pfn;
+      twin->ptes_[i].valid = true;
+      twin->ptes_[i].cow = true;
+    } else if (src.swap_slot != 0) {
+      // Paged-out page: the twin needs its own copy of the swap slot (two
+      // PTEs must never own one slot). If the device is full, swap the
+      // source back in and COW-share the frame instead; exhausting BOTH
+      // memory and swap mid-duplication is a panic, like early UNIX.
+      auto dup = mem_.swap_device()->Duplicate(src.swap_slot);
+      if (dup.ok()) {
+        twin->ptes_[i].swap_slot = dup.value();
+      } else {
+        auto frame = mem_.AllocFrame();
+        SG_CHECK(frame.ok());  // out of memory AND swap: nothing left to do
+        mem_.swap_device()->ReadInAndFree(src.swap_slot, mem_.FrameData(frame.value()));
+        src.pfn = frame.value();
+        src.swap_slot = 0;
+        src.valid = true;
+        mem_.Ref(src.pfn);
+        src.cow = true;
+        twin->ptes_[i].pfn = src.pfn;
+        twin->ptes_[i].valid = true;
+        twin->ptes_[i].cow = true;
+      }
+    }
+  }
+  return twin;
+}
+
+Status Region::FillFrom(u64 off, std::span<const std::byte> data) {
+  std::lock_guard<std::mutex> l(lock_);
+  if (off + data.size() > ptes_.size() * kPageSize) {
+    return Errno::kEFAULT;
+  }
+  u64 done = 0;
+  while (done < data.size()) {
+    const u64 idx = (off + done) >> kPageShift;
+    const u64 page_off = (off + done) & kPageMask;
+    const u64 chunk = std::min<u64>(kPageSize - page_off, data.size() - done);
+    Pte& pte = ptes_[idx];
+    if (!pte.valid) {
+      auto frame = mem_.AllocFrame();
+      if (!frame.ok()) {
+        return frame.error();
+      }
+      pte.pfn = frame.value();
+      pte.valid = true;
+    }
+    SG_CHECK(!pte.cow);  // initialization happens before any sharing
+    std::memcpy(mem_.FrameData(pte.pfn) + page_off, data.data() + done, chunk);
+    done += chunk;
+  }
+  return Status::Ok();
+}
+
+Status Region::ReadBack(u64 off, std::span<std::byte> out) const {
+  std::lock_guard<std::mutex> l(lock_);
+  if (off + out.size() > ptes_.size() * kPageSize) {
+    return Errno::kEFAULT;
+  }
+  u64 done = 0;
+  while (done < out.size()) {
+    const u64 idx = (off + done) >> kPageShift;
+    const u64 page_off = (off + done) & kPageMask;
+    const u64 chunk = std::min<u64>(kPageSize - page_off, out.size() - done);
+    const Pte& pte = ptes_[idx];
+    if (pte.valid) {
+      std::memcpy(out.data() + done, mem_.FrameData(pte.pfn) + page_off, chunk);
+    } else if (pte.swap_slot != 0) {
+      std::byte page[kPageSize];
+      mem_.swap_device()->Peek(pte.swap_slot, page);
+      std::memcpy(out.data() + done, page + page_off, chunk);
+    } else {
+      std::memset(out.data() + done, 0, chunk);
+    }
+    done += chunk;
+  }
+  return Status::Ok();
+}
+
+u64 Region::ResidentPages() const {
+  std::lock_guard<std::mutex> l(lock_);
+  u64 n = 0;
+  for (const Pte& pte : ptes_) {
+    n += pte.valid ? 1 : 0;
+  }
+  return n;
+}
+
+u64 Region::SwappedPages() const {
+  std::lock_guard<std::mutex> l(lock_);
+  u64 n = 0;
+  for (const Pte& pte : ptes_) {
+    n += (!pte.valid && pte.swap_slot != 0) ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace sg

@@ -1,0 +1,216 @@
+// Region — the System V.3 virtual-memory object the paper builds on
+// ([Bach 1986]): a contiguous stretch of virtual space described by a page
+// table, shared between processes by attaching it at some virtual address
+// via a Pregion. "This model is designed to allow for full orthogonality
+// between regions that grow (up or down), and those that are shared."
+//
+// Frames are demand-allocated (zero fill). Copy-on-write duplication
+// (`DupCow`) produces a twin region whose pages share frames with the
+// source until either side writes.
+//
+// Locking: each region has its own lock covering its page table. Share-group
+// callers additionally hold the group's SharedReadLock around any scan that
+// reaches the region (see vm/fault.cc), which is the paper's fix for the
+// "implicit pointers into the region" problem of stock V.3.
+#ifndef SRC_VM_REGION_H_
+#define SRC_VM_REGION_H_
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "base/result.h"
+#include "base/types.h"
+#include "hw/phys_mem.h"
+#include "hw/swap.h"
+
+namespace sg {
+
+enum class RegionType {
+  kText,   // program code
+  kData,   // initialized data + bss + heap (grows via sbrk)
+  kStack,  // per-process stack (demand-zero up to its maximum)
+  kAnon,   // anonymous mapping (mmap); copy-on-write across fork
+  kShm,    // System V shared-memory segment; stays shared across fork
+  kFile,   // file-backed mapping; pages fill from a PageSource
+  kPrda,   // the always-private process data area page
+};
+
+const char* RegionTypeName(RegionType t);
+
+// One page-table entry.
+struct Pte {
+  pfn_t pfn = 0;
+  u32 swap_slot = 0;      // nonzero while paged out
+  bool valid = false;     // frame present
+  bool cow = false;       // frame shared copy-on-write; mapped read-only
+  bool referenced = false;  // touched since the pager's last pass (clock bit)
+  bool dirty = false;       // granted write access (file-mapping writeback)
+};
+
+// Outcome of resolving a page for an access.
+struct PageResolution {
+  pfn_t pfn = 0;
+  bool writable = false;      // may the TLB entry allow writes?
+  bool frame_changed = false;  // a COW break replaced the frame (shootdown!)
+};
+
+class PageSource;
+
+class Region {
+ public:
+  // Creates a region of `pages` demand-zero pages.
+  static std::shared_ptr<Region> Alloc(PhysMem& mem, RegionType type, u64 pages);
+
+  // Creates a file-backed region (type kFile): invalid pages fill from
+  // `source` starting at byte `source_off`; `source_len` bytes are mapped
+  // (the zero tail of the last page never reaches the source). A SHARED
+  // mapping writes dirty pages back (WriteBack) and stays shared across
+  // fork; a private one is COW like anonymous memory and never writes back.
+  static std::shared_ptr<Region> AllocBacked(PhysMem& mem, u64 pages,
+                                             std::shared_ptr<PageSource> source, u64 source_off,
+                                             u64 source_len, bool shared_mapping);
+
+  ~Region();
+  Region(const Region&) = delete;
+  Region& operator=(const Region&) = delete;
+
+  RegionType type() const { return type_; }
+
+  u64 pages() const {
+    std::lock_guard<std::mutex> l(lock_);
+    return ptes_.size();
+  }
+
+  // Resolves page `idx` for an access, allocating a zero frame on first
+  // touch and breaking copy-on-write when `want_write`. kEFAULT if the index
+  // is out of range; kENOMEM if physical memory is exhausted.
+  Result<PageResolution> Resolve(u64 idx, bool want_write);
+
+  // Grows the region to `new_pages` (demand-zero). kEINVAL if shrinking.
+  Status GrowTo(u64 new_pages);
+
+  // Shrinks to `new_pages`, freeing the frames beyond. The caller must have
+  // completed the TLB shootdown protocol FIRST (§6.2): no processor may
+  // hold a stale translation when the frames are freed.
+  Status ShrinkTo(u64 new_pages);
+
+  // Copy-on-write duplicate: the twin shares every present frame; both
+  // sides' pages become read-only-COW. The caller must flush TLBs that may
+  // cache writable translations of this region afterwards.
+  std::shared_ptr<Region> DupCow();
+
+  // Kernel-side initialization write (program loading at exec): copies
+  // `data` into the region starting at byte offset `off`, allocating frames
+  // directly (no TLB involvement).
+  Status FillFrom(u64 off, std::span<const std::byte> data);
+
+  // Kernel-side read (core dumps, tests): copies region bytes out; holes
+  // (never-touched pages) read as zeroes.
+  Status ReadBack(u64 off, std::span<std::byte> out) const;
+
+  // Number of frames currently resident (stats / tests).
+  u64 ResidentPages() const;
+  // Number of pages currently out on the swap device.
+  u64 SwappedPages() const;
+
+  // True if fork shares this region instead of COW-duplicating it
+  // (immutable text, SysV segments, shared file mappings).
+  bool SharedAcrossFork() const;
+
+  // True for shared file mappings, whose dirty pages must be written back
+  // before the mapping is torn down.
+  bool NeedsWriteBack() const { return source_ != nullptr && shared_mapping_; }
+
+  // Writes every dirty resident page of a shared file mapping back to the
+  // source and clears the dirty bits (msync / munmap).
+  Status WriteBack();
+
+  // Pager support (hw/swap.h must be attached to the PhysMem):
+  // One clock-hand sweep over the page table, stealing up to `want`
+  // resident, unreferenced, sole-owner pages to swap. The first encounter
+  // of a referenced page clears its clock bit (second-chance). For every
+  // stolen page, `flushed(idx)` runs BEFORE the frame contents are copied
+  // out, so the caller can invalidate any TLB that might still write to it.
+  // Returns the number of pages stolen.
+  template <typename FlushFn>
+  u64 StealPages(u64 want, FlushFn&& flushed);
+
+ private:
+  Region(PhysMem& mem, RegionType type, u64 pages);
+
+  // Steals one page (caller holds lock_, preconditions checked). Returns
+  // false if the swap device is full.
+  template <typename FlushFn>
+  bool StealOne(u64 idx, FlushFn&& flushed);
+
+  PhysMem& mem_;
+  RegionType type_;
+  mutable std::mutex lock_;
+  std::vector<Pte> ptes_;
+  u64 clock_hand_ = 0;  // pager sweep position
+
+  // File backing (kFile regions only).
+  std::shared_ptr<PageSource> source_;
+  u64 source_off_ = 0;
+  u64 source_len_ = 0;
+  bool shared_mapping_ = false;
+};
+
+// ----- pager support (template bodies) -----
+
+template <typename FlushFn>
+bool Region::StealOne(u64 idx, FlushFn&& flushed) {
+  Pte& pte = ptes_[idx];
+  // The caller may still have writable translations of this page cached;
+  // invalidate them BEFORE copying the frame out, so no store lands after
+  // the copy. A racing accessor then misses, faults, and blocks on this
+  // region's lock until we finish.
+  flushed(idx);
+  auto slot = mem_.swap_device()->WriteOut(mem_.FrameData(pte.pfn));
+  if (!slot.ok()) {
+    return false;  // swap device full
+  }
+  mem_.Unref(pte.pfn);
+  pte.pfn = 0;
+  pte.valid = false;
+  pte.swap_slot = slot.value();
+  return true;
+}
+
+template <typename FlushFn>
+u64 Region::StealPages(u64 want, FlushFn&& flushed) {
+  std::lock_guard<std::mutex> l(lock_);
+  if (mem_.swap_device() == nullptr || ptes_.empty()) {
+    return 0;
+  }
+  u64 stolen = 0;
+  // Two-handed clock: up to two full sweeps (the first clears reference
+  // bits, the second harvests whatever stayed cold).
+  const u64 limit = 2 * ptes_.size();
+  for (u64 step = 0; step < limit && stolen < want; ++step) {
+    Pte& pte = ptes_[clock_hand_];
+    const u64 idx = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % ptes_.size();
+    if (!pte.valid || pte.cow) {
+      continue;  // absent, or the frame is COW-shared with another region
+    }
+    if (pte.referenced) {
+      pte.referenced = false;  // second chance
+      continue;
+    }
+    if (mem_.RefCount(pte.pfn) != 1) {
+      continue;  // shared frame: no reverse map, so leave it alone
+    }
+    if (!StealOne(idx, flushed)) {
+      break;  // swap full
+    }
+    ++stolen;
+  }
+  return stolen;
+}
+
+}  // namespace sg
+
+#endif  // SRC_VM_REGION_H_

@@ -1,0 +1,88 @@
+// SharedSpace — the VM half of the paper's shared-address block: the common
+// pregion list of a share group, the shared read lock protecting every scan
+// of it, the registry of member translation contexts (for cross-processor
+// TLB shootdowns), and the group's virtual-address allocator.
+//
+// It is owned by core::ShaddrBlock but lives in vm/ so the fault path does
+// not depend on the share-group layer.
+#ifndef SRC_VM_SHARED_SPACE_H_
+#define SRC_VM_SHARED_SPACE_H_
+
+#include <memory>
+#include <vector>
+
+#include "base/types.h"
+#include "hw/cpu_set.h"
+#include "hw/tlb.h"
+#include "sync/shared_read_lock.h"
+#include "vm/layout.h"
+#include "vm/pregion.h"
+#include "vm/va_allocator.h"
+
+namespace sg {
+
+class SharedSpace {
+ public:
+  explicit SharedSpace(CpuSet& cpus)
+      : cpus_(cpus), va_(kArenaBase, kArenaEnd, kStackTop) {}
+  SharedSpace(const SharedSpace&) = delete;
+  SharedSpace& operator=(const SharedSpace&) = delete;
+
+  // The paper's shared read lock. Hold for read around any scan of
+  // pregions(); hold for update around any modification of the list, a
+  // region resize, or a member TLB registry change.
+  SharedReadLock& lock() { return lock_; }
+
+  // The shared pregion list. Scans and edits require the lock (see above).
+  std::vector<std::unique_ptr<Pregion>>& pregions() { return pregions_; }
+
+  // Finds the shared pregion containing `va`; caller holds the lock (read
+  // suffices).
+  Pregion* Find(vaddr_t va) {
+    for (auto& pr : pregions_) {
+      if (pr->Contains(va)) {
+        return pr.get();
+      }
+    }
+    return nullptr;
+  }
+
+  // Group VA allocator; callers hold the lock for update.
+  VaAllocator& va() { return va_; }
+
+  // Member translation-context registry; callers hold the lock for update
+  // to modify, read to iterate.
+  void AddMemberTlb(Tlb* tlb) { member_tlbs_.push_back(tlb); }
+  void RemoveMemberTlb(Tlb* tlb) {
+    std::erase(member_tlbs_, tlb);
+  }
+  const std::vector<Tlb*>& member_tlbs() const { return member_tlbs_; }
+
+  // §6.2 shootdown: synchronously flush every member's translations on all
+  // processors. Caller holds the lock for update; any member that then
+  // touches the space misses, enters the fault path, and blocks on the lock.
+  void ShootdownAll() { cpus_.SynchronousFlush(member_tlbs_); }
+
+  // Page-granular invalidation used when a COW break in a shared region
+  // replaces a frame: every member must drop its stale translation before
+  // the new frame becomes visible. Caller holds the lock (read suffices —
+  // the page table entry itself is guarded by the region lock).
+  void FlushPageAllMembers(u64 vpn) {
+    for (Tlb* t : member_tlbs_) {
+      t->FlushPage(vpn);
+    }
+  }
+
+  CpuSet& cpus() { return cpus_; }
+
+ private:
+  CpuSet& cpus_;
+  SharedReadLock lock_;
+  std::vector<std::unique_ptr<Pregion>> pregions_;
+  std::vector<Tlb*> member_tlbs_;
+  VaAllocator va_;
+};
+
+}  // namespace sg
+
+#endif  // SRC_VM_SHARED_SPACE_H_

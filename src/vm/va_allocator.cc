@@ -1,0 +1,87 @@
+#include "vm/va_allocator.h"
+
+#include "base/check.h"
+
+namespace sg {
+
+VaAllocator::VaAllocator(vaddr_t arena_base, vaddr_t arena_end, vaddr_t stack_top)
+    : arena_base_(arena_base), arena_end_(arena_end), stack_top_(stack_top) {
+  SG_CHECK(arena_base < arena_end && arena_end <= stack_top);
+}
+
+bool VaAllocator::Overlaps(vaddr_t base, u64 bytes) const {
+  auto it = ranges_.upper_bound(base);
+  if (it != ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second > base) {
+      return true;
+    }
+  }
+  return it != ranges_.end() && it->first < base + bytes;
+}
+
+Result<vaddr_t> VaAllocator::AllocUp(u64 pages) {
+  const u64 bytes = pages * kPageSize;
+  vaddr_t candidate = arena_base_;
+  for (const auto& [base, len] : ranges_) {
+    if (base >= arena_end_) {
+      break;  // stack ranges live above the arena
+    }
+    if (base >= candidate + bytes) {
+      break;  // gap found
+    }
+    if (base + len > candidate) {
+      candidate = base + len;
+    }
+  }
+  if (candidate + bytes > arena_end_) {
+    return Errno::kENOMEM;
+  }
+  ranges_.emplace(candidate, bytes);
+  return candidate;
+}
+
+Result<vaddr_t> VaAllocator::AllocDown(u64 pages) {
+  const u64 bytes = pages * kPageSize;
+  // First fit from the top: walk ranges highest-first, tracking the lowest
+  // usable ceiling; allocate in the first gap that fits. Stack ranges only
+  // come from [arena_end_, stack_top_).
+  vaddr_t ceiling = stack_top_;
+  for (auto it = ranges_.rbegin(); it != ranges_.rend(); ++it) {
+    const vaddr_t rbase = it->first;
+    const vaddr_t rend = rbase + it->second;
+    if (rend <= arena_end_) {
+      break;  // remaining ranges are all in the low arena
+    }
+    if (ceiling >= rend && ceiling - rend >= bytes) {
+      break;  // gap [rend, ceiling) fits
+    }
+    if (rbase < ceiling) {
+      ceiling = rbase;
+    }
+  }
+  if (ceiling < arena_end_ + bytes) {
+    return Errno::kENOMEM;
+  }
+  const vaddr_t base = ceiling - bytes;
+  SG_CHECK(!Overlaps(base, bytes));
+  ranges_.emplace(base, bytes);
+  return base;
+}
+
+Status VaAllocator::Reserve(vaddr_t base, u64 pages) {
+  const u64 bytes = pages * kPageSize;
+  if ((base & kPageMask) != 0 || Overlaps(base, bytes)) {
+    return Errno::kEINVAL;
+  }
+  ranges_.emplace(base, bytes);
+  return Status::Ok();
+}
+
+void VaAllocator::Free(vaddr_t base) {
+  auto it = ranges_.find(base);
+  SG_CHECK(it != ranges_.end());
+  ranges_.erase(it);
+}
+
+}  // namespace sg

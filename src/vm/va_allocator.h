@@ -1,0 +1,46 @@
+// Virtual-address range allocator for one address space (or one share
+// group's common space): hands out page-aligned ranges for mmap/shm
+// attachments (growing up from the arena base) and for sproc stacks
+// (growing down from the stack top).
+#ifndef SRC_VM_VA_ALLOCATOR_H_
+#define SRC_VM_VA_ALLOCATOR_H_
+
+#include <map>
+
+#include "base/result.h"
+#include "base/types.h"
+
+namespace sg {
+
+// Not thread-safe: callers hold the owning space's lock.
+class VaAllocator {
+ public:
+  VaAllocator(vaddr_t arena_base, vaddr_t arena_end, vaddr_t stack_top);
+
+  // Allocates `pages` pages upward from the arena base (first fit).
+  Result<vaddr_t> AllocUp(u64 pages);
+
+  // Allocates `pages` pages downward from the stack top (first fit from the
+  // top); returns the *base* (lowest address) of the range.
+  Result<vaddr_t> AllocDown(u64 pages);
+
+  // Reserves an explicit range; kEINVAL if it overlaps an existing one.
+  Status Reserve(vaddr_t base, u64 pages);
+
+  // Releases a previously allocated/reserved range starting at `base`.
+  void Free(vaddr_t base);
+
+  u64 RangesInUse() const { return ranges_.size(); }
+
+ private:
+  bool Overlaps(vaddr_t base, u64 bytes) const;
+
+  vaddr_t arena_base_;
+  vaddr_t arena_end_;
+  vaddr_t stack_top_;
+  std::map<vaddr_t, u64> ranges_;  // base -> bytes
+};
+
+}  // namespace sg
+
+#endif  // SRC_VM_VA_ALLOCATOR_H_

@@ -1,0 +1,182 @@
+#include "vm/vm_ops.h"
+
+#include <optional>
+
+#include "base/check.h"
+#include "sync/shared_read_lock.h"
+
+namespace sg {
+
+namespace {
+
+// Finds the data pregion. Caller holds the shared lock when `ss` != null.
+Pregion* FindData(AddressSpace& as) { return as.FindByType(RegionType::kData); }
+
+}  // namespace
+
+Result<vaddr_t> CurrentBrk(AddressSpace& as) {
+  SharedSpace* ss = as.shared();
+  std::optional<ReadGuard> guard;
+  if (ss != nullptr) {
+    guard.emplace(ss->lock());
+  }
+  Pregion* data = FindData(as);
+  if (data == nullptr) {
+    return Errno::kEINVAL;
+  }
+  return data->base + data->bytes();
+}
+
+Result<vaddr_t> Sbrk(AddressSpace& as, i64 delta, u64 max_data_pages) {
+  SharedSpace* ss = as.shared();
+  // Any resize is a VM-image update: exclude all concurrent faulters so the
+  // paper's rule holds — "by the time control is returned to the process
+  // making the VM modification, all other processes in the share group will
+  // also see that modification".
+  std::optional<UpdateGuard> guard;
+  if (ss != nullptr) {
+    guard.emplace(ss->lock());
+  }
+  Pregion* data = FindData(as);
+  if (data == nullptr) {
+    return Errno::kEINVAL;
+  }
+  const u64 old_pages = data->region->pages();
+  const vaddr_t old_brk = data->base + old_pages * kPageSize;
+  if (delta == 0) {
+    return old_brk;
+  }
+  if (delta > 0) {
+    const u64 add = PagesFor(static_cast<u64>(delta));
+    const u64 new_pages = old_pages + add;
+    if (max_data_pages != 0 && new_pages > max_data_pages) {
+      return Errno::kENOMEM;
+    }
+    if (data->base + new_pages * kPageSize > kPrdaBase) {
+      return Errno::kENOMEM;  // data may not run into the PRDA
+    }
+    SG_RETURN_IF_ERROR(data->region->GrowTo(new_pages));
+    return old_brk;
+  }
+  // Shrink: frames are about to be freed. §6.2 — synchronously flush every
+  // processor's TLB first, while holding the update lock.
+  const u64 sub = PagesFor(static_cast<u64>(-delta));
+  if (sub > old_pages) {
+    return Errno::kEINVAL;
+  }
+  if (ss != nullptr) {
+    ss->ShootdownAll();
+  } else {
+    as.tlb().FlushAll();
+  }
+  SG_RETURN_IF_ERROR(data->region->ShrinkTo(old_pages - sub));
+  return old_brk;
+}
+
+Result<vaddr_t> MapAnon(AddressSpace& as, u64 bytes, u32 prot) {
+  if (bytes == 0) {
+    return Errno::kEINVAL;
+  }
+  const u64 pages = PagesFor(bytes);
+  auto region = Region::Alloc(as.mem(), RegionType::kAnon, pages);
+  return AttachRegion(as, std::move(region), prot);
+}
+
+Result<vaddr_t> AttachRegion(AddressSpace& as, std::shared_ptr<Region> region, u32 prot) {
+  const u64 pages = region->pages();
+  SharedSpace* ss = as.shared();
+  if (ss != nullptr) {
+    UpdateGuard guard(ss->lock());
+    auto base = ss->va().AllocUp(pages);
+    if (!base.ok()) {
+      return base.error();
+    }
+    ss->pregions().push_back(std::make_unique<Pregion>(std::move(region), base.value(), prot));
+    return base.value();
+  }
+  auto base = as.va().AllocUp(pages);
+  if (!base.ok()) {
+    return base.error();
+  }
+  as.AttachPrivate(std::make_unique<Pregion>(std::move(region), base.value(), prot));
+  return base.value();
+}
+
+Status Unmap(AddressSpace& as, vaddr_t base) {
+  if (base < kArenaBase || base >= kArenaEnd) {
+    return Errno::kEINVAL;  // only arena mappings may be detached
+  }
+  SharedSpace* ss = as.shared();
+  if (ss != nullptr) {
+    UpdateGuard guard(ss->lock());
+    auto& list = ss->pregions();
+    for (auto it = list.begin(); it != list.end(); ++it) {
+      if ((*it)->base == base) {
+        if ((*it)->region->NeedsWriteBack()) {
+          SG_RETURN_IF_ERROR((*it)->region->WriteBack());
+        }
+        // Flush before free: no processor may retain a stale translation
+        // when the region's frames return to the allocator.
+        ss->ShootdownAll();
+        list.erase(it);
+        ss->va().Free(base);
+        return Status::Ok();
+      }
+    }
+    return Errno::kEINVAL;
+  }
+  Pregion* pr = as.FindPrivate(base);
+  if (pr == nullptr || pr->base != base) {
+    return Errno::kEINVAL;
+  }
+  if (pr->region->NeedsWriteBack()) {
+    SG_RETURN_IF_ERROR(pr->region->WriteBack());
+  }
+  SG_CHECK(as.DetachPrivate(base));
+  as.va().Free(base);
+  return Status::Ok();
+}
+
+Status DuplicateForFork(AddressSpace& parent, AddressSpace& child) {
+  SG_CHECK(child.shared() == nullptr);
+  SharedSpace* ss = parent.shared();
+  std::optional<UpdateGuard> guard;
+  if (ss != nullptr) {
+    guard.emplace(ss->lock());
+  }
+
+  auto dup_one = [&child](const Pregion& pr) {
+    // Immutable text, SysV segments and shared file mappings stay genuinely
+    // shared across fork; everything else is duplicated copy-on-write.
+    std::shared_ptr<Region> r =
+        pr.region->SharedAcrossFork() ? pr.region : pr.region->DupCow();
+    auto copy = std::make_unique<Pregion>(std::move(r), pr.base, pr.prot);
+    copy->stack_owner = pr.stack_owner;
+    if (pr.base >= kArenaBase) {
+      // Claim arena/stack ranges in the child's allocator so its own
+      // mmaps/stacks cannot collide with inherited attachments.
+      SG_CHECK(child.va().Reserve(pr.base, pr.region->pages()).ok());
+    }
+    child.AttachPrivate(std::move(copy));
+  };
+
+  for (auto& pr : parent.private_pregions()) {
+    dup_one(*pr);
+  }
+  if (ss != nullptr) {
+    for (auto& pr : ss->pregions()) {
+      dup_one(*pr);
+    }
+  }
+
+  // COW marking revoked write permission from pages that may still be
+  // cached writable in TLBs: flush them all before anyone writes again.
+  if (ss != nullptr) {
+    ss->ShootdownAll();
+  } else {
+    parent.tlb().FlushAll();
+  }
+  return Status::Ok();
+}
+
+}  // namespace sg

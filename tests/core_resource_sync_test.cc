@@ -1,0 +1,252 @@
+// §6.3 resource synchronization: descriptor propagation through s_ofile,
+// directory/umask/ulimit/id propagation through the shared block, the
+// p_flag sync bits, and the block's own reference counts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "api/kernel.h"
+#include "api/user_env.h"
+
+namespace sg {
+namespace {
+
+// Runs `body` inside a launched process and waits for completion.
+void RunAsProcess(Kernel& k, std::function<void(Env&)> body) {
+  auto pid = k.Launch([body = std::move(body)](Env& env, long) { body(env); });
+  ASSERT_TRUE(pid.ok());
+  k.WaitAll();
+}
+
+TEST(FdSharing, OpenInChildVisibleInParent) {
+  Kernel k;
+  std::atomic<int> parent_read{-1};
+  RunAsProcess(k, [&](Env& env) {
+    ASSERT_GE(env.Open("/data", kOpenWrite | kOpenCreat), 0);
+    env.WriteStr(0, "hello");
+    env.Close(0);
+
+    std::atomic<int> child_fd{-1};
+    env.Sproc(
+        [&](Env& c, long) {
+          // "When one of the processes in a group opens a file, the others
+          // will see the file as immediately available to them."
+          child_fd = c.Open("/data", kOpenRead);
+        },
+        PR_SFDS | PR_SADDR);
+    env.WaitChild();
+    ASSERT_GE(child_fd.load(), 0);
+
+    // The parent's next kernel entry synchronizes its table; the
+    // descriptor NUMBER from the child works directly (footnote 1).
+    char buf[8] = {};
+    i64 n = env.ReadBuf(child_fd.load(),
+                        std::as_writable_bytes(std::span<char>(buf, sizeof(buf))));
+    parent_read = static_cast<int>(n);
+    EXPECT_EQ(std::string_view(buf, 5), "hello");
+  });
+  EXPECT_EQ(parent_read.load(), 5);
+}
+
+TEST(FdSharing, SharedOffsetThroughSharedDescriptor) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    int fd = env.Open("/f", kOpenRdwr | kOpenCreat);
+    ASSERT_GE(fd, 0);
+    env.WriteStr(fd, "abcdef");
+    env.Lseek(fd, 0);
+    std::atomic<bool> child_done{false};
+    env.Sproc(
+        [&, fd](Env& c, long) {
+          char b[3] = {};
+          c.ReadBuf(fd, std::as_writable_bytes(std::span<char>(b, 3)));
+          EXPECT_EQ(std::string_view(b, 3), "abc");
+          child_done = true;
+        },
+        PR_SFDS);
+    env.WaitChild();
+    ASSERT_TRUE(child_done.load());
+    // The open-file entry (and its offset) is shared: we continue where
+    // the child stopped.
+    char b[3] = {};
+    env.ReadBuf(fd, std::as_writable_bytes(std::span<char>(b, 3)));
+    EXPECT_EQ(std::string_view(b, 3), "def");
+  });
+}
+
+TEST(FdSharing, CloseInOneMemberPropagates) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    int fd = env.Open("/g", kOpenWrite | kOpenCreat);
+    ASSERT_GE(fd, 0);
+    env.Sproc([fd](Env& c, long) { EXPECT_EQ(c.Close(fd), 0); }, PR_SFDS);
+    env.WaitChild();
+    // Our table resynchronizes on entry: the descriptor is gone.
+    EXPECT_LT(env.WriteStr(fd, "x"), 0);
+    EXPECT_EQ(env.LastError(), Errno::kEBADF);
+  });
+}
+
+TEST(FdSharing, NonSharingMemberUnaffected) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    std::atomic<int> child_result{0};
+    env.Sproc(
+        [&](Env& c, long) {
+          int fd = c.Open("/private-child", kOpenWrite | kOpenCreat);
+          child_result = fd;
+        },
+        PR_SADDR /* no PR_SFDS */);
+    env.WaitChild();
+    ASSERT_GE(child_result.load(), 0);
+    // The child's open never propagated: the same slot is free here, and
+    // using it reports EBADF.
+    char b[1];
+    EXPECT_LT(env.ReadBuf(child_result.load(), std::as_writable_bytes(std::span<char>(b, 1))),
+              0);
+    EXPECT_EQ(env.LastError(), Errno::kEBADF);
+  });
+}
+
+TEST(DirSharing, ChdirPropagatesToGroup) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    ASSERT_EQ(env.Mkdir("/sub"), 0);
+    ASSERT_GE(env.Open("/sub/marker", kOpenWrite | kOpenCreat), 0);
+    env.Sproc([](Env& c, long) { EXPECT_EQ(c.Chdir("/sub"), 0); }, PR_SDIR | PR_SADDR);
+    env.WaitChild();
+    // "the ability to change the working directory ... of an entire set of
+    // processes at once": a relative open now resolves inside /sub.
+    EXPECT_GE(env.Open("marker", kOpenRead), 0);
+  });
+}
+
+TEST(DirSharing, NonSharingChdirStaysLocal) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    ASSERT_EQ(env.Mkdir("/sub2"), 0);
+    env.Sproc([](Env& c, long) { EXPECT_EQ(c.Chdir("/sub2"), 0); }, PR_SADDR);
+    env.WaitChild();
+    ASSERT_GE(env.Open("still-at-root", kOpenWrite | kOpenCreat), 0);
+    EXPECT_GE(env.Open("/still-at-root", kOpenRead), 0);
+  });
+}
+
+TEST(UmaskSharing, UmaskPropagates) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    env.Umask(0);
+    env.Sproc([](Env& c, long) { c.Umask(077); }, PR_SUMASK);
+    env.WaitChild();
+    int fd = env.Open("/masked", kOpenWrite | kOpenCreat, 0666);
+    ASSERT_GE(fd, 0);
+    auto st = env.kernel().Stat(env.proc(), "/masked");
+    ASSERT_TRUE(st.ok());
+    EXPECT_EQ(st.value().mode, 0600);  // 0666 & ~077
+  });
+}
+
+TEST(UlimitSharing, UlimitPropagatesAndIsEnforced) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    env.Sproc([](Env& c, long) { EXPECT_EQ(c.UlimitSet(kPageSize), 0); }, PR_SULIMIT);
+    env.WaitChild();
+    EXPECT_EQ(static_cast<u64>(env.UlimitGet()), kPageSize);
+    int fd = env.Open("/limited", kOpenWrite | kOpenCreat);
+    ASSERT_GE(fd, 0);
+    std::vector<std::byte> big(2 * kPageSize, std::byte{7});
+    const i64 n = env.WriteBuf(fd, big);
+    EXPECT_EQ(n, static_cast<i64>(kPageSize));  // truncated at the limit
+    EXPECT_LT(env.WriteBuf(fd, big), 0);        // nothing more fits
+    EXPECT_EQ(env.LastError(), Errno::kEFBIG);
+  });
+}
+
+TEST(IdSharing, SetuidPropagatesAndChangesAccess) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    // Root creates a file only uid 42 can read, then drops privileges in a
+    // CHILD; PR_SID propagates the uid to the parent.
+    int fd = env.Open("/secret", kOpenWrite | kOpenCreat, 0400);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(env.kernel().Chmod(env.proc(), "/secret", 0400).ok(), true);
+    env.Sproc([](Env& c, long) { EXPECT_EQ(c.Setuid(42), 0); }, PR_SID);
+    env.WaitChild();
+    EXPECT_EQ(env.Getuid(), 42);
+    // uid 42 is not the owner (root is): read must now fail.
+    EXPECT_LT(env.Open("/secret", kOpenRead), 0);
+    EXPECT_EQ(env.LastError(), Errno::kEACCES);
+  });
+}
+
+TEST(SyncBits, FlagSetOnOthersAndClearedOnEntry) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    std::atomic<bool> gate{false};
+    std::atomic<u32> flag_during{0};
+    env.Sproc(
+        [&](Env& c, long) {
+          c.Umask(011);  // flags the parent
+          flag_during = env.proc().p_flag.load() & kPfSyncUmask;
+          gate = true;
+          // Hold so the parent's entry-sync happens while we are alive.
+          while (gate.load()) {
+            c.Yield();
+          }
+        },
+        PR_SUMASK);
+    while (!gate.load()) {
+      env.Yield();
+    }
+    EXPECT_EQ(flag_during.load(), kPfSyncUmask);
+    // Any syscall is a kernel entry; it pulls the new value and clears the bit.
+    (void)env.UlimitGet();
+    EXPECT_EQ(env.proc().p_flag.load() & kPfSyncUmask, 0u);
+    EXPECT_EQ(env.Umask(011), 011);  // previous mask = the child's value
+    gate = false;
+    env.WaitChild();
+  });
+}
+
+TEST(SyncBits, BlockHoldsItsOwnReferences) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    int fd = env.Open("/held", kOpenWrite | kOpenCreat);
+    ASSERT_GE(fd, 0);
+    // Create the group: the block copies the fd table, bumping refs.
+    std::atomic<bool> gate{false};
+    env.Sproc(
+        [&](Env& c, long) {
+          while (!gate.load()) {
+            c.Yield();
+          }
+        },
+        PR_SFDS);
+    OpenFile* f = env.proc().fds.Get(fd).value();
+    // Our slot + the block's master copy + the live child's inherited slot.
+    EXPECT_EQ(env.kernel().vfs().files().RefCount(f), 3u);
+    gate = true;
+    env.WaitChild();
+    // The child's reference died with it; the block still holds its own, so
+    // the entry survives any member's exit (§6.3 race avoidance).
+    EXPECT_EQ(env.kernel().vfs().files().RefCount(f), 2u);
+  });
+}
+
+TEST(Teardown, LastExitReleasesBlockResources) {
+  Kernel k;
+  std::atomic<u64> files_live{99};
+  RunAsProcess(k, [&](Env& env) {
+    ASSERT_GE(env.Open("/t", kOpenWrite | kOpenCreat), 0);
+    env.Sproc([](Env&, long) {}, PR_SALL);
+    env.WaitChild();
+  });
+  // Everything exited: block destroyed, its file refs released. Only no
+  // files should remain open system-wide.
+  files_live = k.vfs().files().Count();
+  EXPECT_EQ(files_live.load(), 0u);
+  EXPECT_EQ(k.LiveBlocks(), 0u);
+}
+
+}  // namespace
+}  // namespace sg

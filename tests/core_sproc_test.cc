@@ -1,0 +1,248 @@
+// sproc(2) semantics (§5.1): group creation, share-mask selection, strict
+// inheritance, stacks, PRDA privacy, and the shared-VM fundamentals.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "api/kernel.h"
+#include "api/user_env.h"
+
+namespace sg {
+namespace {
+
+TEST(Sproc, LaunchAndExit) {
+  Kernel k;
+  std::atomic<int> ran{0};
+  auto pid = k.Launch([&](Env&, long arg) { ran = static_cast<int>(arg); }, 42);
+  ASSERT_TRUE(pid.ok());
+  k.WaitAll();
+  EXPECT_EQ(ran.load(), 42);
+}
+
+TEST(Sproc, FirstSprocCreatesGroupAndChildJoins) {
+  Kernel k;
+  std::atomic<u32> observed_refcnt{0};
+  std::atomic<pid_t> child_pid{0};
+  std::atomic<bool> gate{false};
+  (void)k.Launch([&](Env& env, long) {
+    pid_t pid = env.Sproc(
+        [&](Env& child_env, long) {
+          child_pid = child_env.Pid();
+          while (!gate.load()) {
+            child_env.Yield();  // hold membership until the parent looks
+          }
+        },
+        PR_SALL);
+    ASSERT_GT(pid, 0);
+    ShaddrBlock* b = env.proc().shaddr;
+    ASSERT_NE(b, nullptr);
+    observed_refcnt = b->refcnt();
+    gate = true;
+    EXPECT_EQ(env.WaitChild(), pid);
+  });
+  k.WaitAll();
+  EXPECT_EQ(observed_refcnt.load(), 2u);
+  EXPECT_GT(child_pid.load(), 0);
+  EXPECT_EQ(k.LiveBlocks(), 0u);  // thrown away once the last member exits
+}
+
+TEST(Sproc, SharedAddressSpaceSeesStores) {
+  Kernel k;
+  std::atomic<u32> seen{0};
+  (void)k.Launch([&](Env& env, long) {
+    vaddr_t buf = env.Mmap(kPageSize);
+    ASSERT_NE(buf, 0u);
+    env.Store32(buf, 0);
+    pid_t pid = env.Sproc(
+        [buf](Env& c, long) {
+          // Spin until the parent's store is visible through the shared image.
+          while (c.AtomicRead32(buf) != 1234) {
+            c.Yield();
+          }
+          c.Store32(buf + 4, 5678);
+        },
+        PR_SADDR);
+    ASSERT_GT(pid, 0);
+    env.Store32(buf, 1234);
+    while (env.AtomicRead32(buf + 4) != 5678) {
+      env.Yield();
+    }
+    seen = env.Load32(buf + 4);
+    env.WaitChild();
+  });
+  k.WaitAll();
+  EXPECT_EQ(seen.load(), 5678u);
+}
+
+TEST(Sproc, NonSharedVmChildGetsCowImage) {
+  Kernel k;
+  std::atomic<u32> parent_after{0};
+  std::atomic<u32> child_saw{0};
+  (void)k.Launch([&](Env& env, long) {
+    vaddr_t buf = env.Mmap(kPageSize);
+    env.Store32(buf, 111);
+    pid_t pid = env.Sproc(
+        [&, buf](Env& c, long) {
+          child_saw = c.Load32(buf);  // COW copy: parent's value at sproc time
+          c.Store32(buf, 999);        // must NOT leak into the parent
+        },
+        PR_SFDS /* group member, but no PR_SADDR */);
+    ASSERT_GT(pid, 0);
+    env.WaitChild();
+    parent_after = env.Load32(buf);
+  });
+  k.WaitAll();
+  EXPECT_EQ(child_saw.load(), 111u);
+  EXPECT_EQ(parent_after.load(), 111u);
+}
+
+TEST(Sproc, StrictInheritanceMasksChildShmask) {
+  Kernel k;
+  std::atomic<u32> grandchild_mask{0xffffffff};
+  (void)k.Launch([&](Env& env, long) {
+    // Child shares only FDS+DIR; its own sproc asking for ALL must be
+    // masked down to FDS|DIR ("a process can only cause a child to share
+    // those resources that the parent can share as well").
+    pid_t pid = env.Sproc(
+        [&](Env& c, long) {
+          pid_t gpid = c.Sproc([&](Env& g, long) { grandchild_mask = g.proc().p_shmask; },
+                               PR_SALL);
+          ASSERT_GT(gpid, 0);
+          c.WaitChild();
+        },
+        PR_SFDS | PR_SDIR);
+    ASSERT_GT(pid, 0);
+    env.WaitChild();
+  });
+  k.WaitAll();
+  EXPECT_EQ(grandchild_mask.load(), PR_SFDS | PR_SDIR);
+}
+
+TEST(Sproc, ChildStackIsVisibleToOtherMembers) {
+  Kernel k;
+  std::atomic<u32> read_from_childs_stack{0};
+  (void)k.Launch([&](Env& env, long) {
+    std::atomic<vaddr_t> child_stack{0};
+    pid_t pid = env.Sproc(
+        [&](Env& c, long) {
+          // Write into our own stack region (group-visible, §5.1: "This new
+          // stack is visible to all other processes in the share group").
+          const vaddr_t slot = c.proc().stack_base + 64;
+          c.Store32(slot, 4242);
+          child_stack = slot;
+          while (read_from_childs_stack.load() == 0) {
+            c.Yield();
+          }
+        },
+        PR_SADDR);
+    ASSERT_GT(pid, 0);
+    while (child_stack.load() == 0) {
+      env.Yield();
+    }
+    read_from_childs_stack = env.Load32(child_stack.load());
+    env.WaitChild();
+  });
+  k.WaitAll();
+  EXPECT_EQ(read_from_childs_stack.load(), 4242u);
+}
+
+TEST(Sproc, PrdaStaysPrivatePerMember) {
+  Kernel k;
+  std::atomic<u32> parent_prda{0};
+  std::atomic<u32> child_prda{0};
+  (void)k.Launch([&](Env& env, long) {
+    const vaddr_t slot = Env::PrdaUserBase();
+    env.Store32(slot, 1);
+    pid_t pid = env.Sproc(
+        [&, slot](Env& c, long) {
+          // Fully shared VM, yet the PRDA page is per-process: the parent's
+          // value must NOT be visible here.
+          child_prda = c.Load32(slot);
+          c.Store32(slot, 2);
+        },
+        PR_SADDR);
+    ASSERT_GT(pid, 0);
+    env.WaitChild();
+    parent_prda = env.Load32(slot);
+  });
+  k.WaitAll();
+  EXPECT_EQ(child_prda.load(), 0u);   // fresh, zero-filled PRDA
+  EXPECT_EQ(parent_prda.load(), 1u);  // untouched by the child's store
+}
+
+TEST(Sproc, ErrnoInPrdaIsPerProcess) {
+  Kernel k;
+  std::atomic<int> parent_errno{0};
+  std::atomic<int> child_errno{0};
+  (void)k.Launch([&](Env& env, long) {
+    EXPECT_LT(env.Open("/does-not-exist", kOpenRead), 0);
+    pid_t pid = env.Sproc(
+        [&](Env& c, long) {
+          child_errno = static_cast<int>(c.LastError());  // must be clean
+        },
+        PR_SADDR);
+    env.WaitChild();
+    parent_errno = static_cast<int>(env.LastError());
+    (void)pid;
+  });
+  k.WaitAll();
+  EXPECT_EQ(parent_errno.load(), static_cast<int>(Errno::kENOENT));
+  EXPECT_EQ(child_errno.load(), 0);
+}
+
+TEST(Sproc, SprocPassesArgument) {
+  Kernel k;
+  std::atomic<long> got{0};
+  (void)k.Launch([&](Env& env, long) {
+    env.Sproc([&](Env&, long arg) { got = arg; }, PR_SALL, 777);
+    env.WaitChild();
+  });
+  k.WaitAll();
+  EXPECT_EQ(got.load(), 777);
+}
+
+TEST(Sproc, ForkLeavesShareGroup) {
+  Kernel k;
+  std::atomic<bool> fork_child_in_group{true};
+  std::atomic<u32> refcnt_after_fork{0};
+  (void)k.Launch([&](Env& env, long) {
+    env.Sproc([](Env& c, long) { (void)c; }, PR_SALL);
+    env.WaitChild();
+    pid_t pid = env.Fork([&](Env& c, long) {
+      fork_child_in_group = (c.proc().shaddr != nullptr);
+    });
+    ASSERT_GT(pid, 0);
+    env.WaitChild();
+    refcnt_after_fork = env.proc().shaddr->refcnt();
+  });
+  k.WaitAll();
+  EXPECT_FALSE(fork_child_in_group.load());
+  EXPECT_EQ(refcnt_after_fork.load(), 1u);
+}
+
+TEST(Sproc, ExecRemovesFromShareGroup) {
+  Kernel k;
+  std::atomic<bool> exec_in_group{true};
+  std::atomic<u32> mask_after_exec{123};
+  (void)k.Launch([&](Env& env, long) {
+    pid_t pid = env.Sproc(
+        [&](Env& c, long) {
+          Image img;
+          img.main = [&](Env& e2, long) {
+            exec_in_group = (e2.proc().shaddr != nullptr);
+            mask_after_exec = e2.proc().p_shmask;
+          };
+          c.Exec(img);
+          ADD_FAILURE() << "exec returned";
+        },
+        PR_SALL);
+    ASSERT_GT(pid, 0);
+    env.WaitChild();
+  });
+  k.WaitAll();
+  EXPECT_FALSE(exec_in_group.load());
+  EXPECT_EQ(mask_after_exec.load(), 0u);
+}
+
+}  // namespace
+}  // namespace sg

@@ -1,0 +1,272 @@
+// Failure injection: exhausted physical memory, full tables, bad
+// descriptors/addresses, and limit violations — every error path must
+// report cleanly and leak nothing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "api/kernel.h"
+#include "api/user_env.h"
+#include "vm/access.h"
+
+namespace sg {
+namespace {
+
+void RunAsProcess(Kernel& k, std::function<void(Env&)> body) {
+  auto pid = k.Launch([body = std::move(body)](Env& env, long) { body(env); });
+  ASSERT_TRUE(pid.ok());
+  k.WaitAll();
+}
+
+TEST(Failure, MmapBeyondPhysicalMemory) {
+  BootParams bp;
+  bp.phys_mem_bytes = 128 * kPageSize;
+  Kernel k(bp);
+  RunAsProcess(k, [&](Env& env) {
+    // The mapping itself succeeds (demand paging!); touching more pages
+    // than exist must fail with ENOMEM -> SIGSEGV on the toucher.
+    const vaddr_t a = env.Mmap(256 * kPageSize);
+    ASSERT_NE(a, 0u);
+    pid_t pid = env.Sproc(
+        [a](Env& c, long) {
+          for (u64 i = 0; i < 256; ++i) {
+            c.Store32(a + i * kPageSize, 1);
+          }
+          ADD_FAILURE() << "touched more frames than physically exist";
+        },
+        PR_SADDR);
+    int sig = 0;
+    EXPECT_EQ(env.WaitChild(nullptr, &sig), pid);
+    EXPECT_EQ(sig, kSigSegv);
+  });
+  EXPECT_EQ(k.mem().FreeFrames(), k.mem().TotalFrames());  // all recovered
+}
+
+TEST(Failure, SprocFailsCleanlyWhenStackVaExhausted) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    // Stacks come from [kArenaEnd, kStackTop) = 256 MiB. Demand ~1 GiB max
+    // stacks: the fifth member cannot fit and must fail without corrupting
+    // the group.
+    ASSERT_GT(env.Prctl(PR_SETSTACKSIZE, i64{60} << 20), 0);
+    std::atomic<int> created{0};
+    std::atomic<bool> hold{true};
+    std::vector<pid_t> pids;
+    for (int i = 0; i < 8; ++i) {
+      const pid_t pid = env.Sproc(
+          [&](Env& c, long) {
+            while (hold.load()) {
+              c.Yield();
+            }
+          },
+          PR_SADDR);
+      if (pid > 0) {
+        ++created;
+        pids.push_back(pid);
+      } else {
+        EXPECT_EQ(env.LastError(), Errno::kENOMEM);
+      }
+    }
+    EXPECT_GT(created.load(), 0);
+    EXPECT_LT(created.load(), 8);
+    // The group still works.
+    const vaddr_t a = env.Mmap(kPageSize);
+    env.Store32(a, 42);
+    EXPECT_EQ(env.Load32(a), 42u);
+    hold = false;
+    for (int i = 0; i < created.load(); ++i) {
+      env.WaitChild();
+    }
+  });
+  EXPECT_EQ(k.LiveBlocks(), 0u);
+}
+
+TEST(Failure, FdTableExhaustion) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    int opened = 0;
+    for (int i = 0; i < FdTable::kMaxFds + 4; ++i) {
+      char path[32];
+      std::snprintf(path, sizeof(path), "/f%d", i);
+      const int fd = env.Open(path, kOpenWrite | kOpenCreat);
+      if (fd < 0) {
+        EXPECT_EQ(env.LastError(), Errno::kEMFILE);
+        break;
+      }
+      ++opened;
+    }
+    EXPECT_EQ(opened, FdTable::kMaxFds);
+    // Closing one frees a slot again.
+    EXPECT_EQ(env.Close(3), 0);
+    EXPECT_GE(env.Open("/one-more", kOpenWrite | kOpenCreat), 0);
+  });
+}
+
+TEST(Failure, SystemFileTableExhaustion) {
+  BootParams bp;
+  bp.max_files = 8;
+  Kernel k(bp);
+  RunAsProcess(k, [&](Env& env) {
+    int opened = 0;
+    for (int i = 0; i < 12; ++i) {
+      char path[32];
+      std::snprintf(path, sizeof(path), "/g%d", i);
+      const int fd = env.Open(path, kOpenWrite | kOpenCreat);
+      if (fd < 0) {
+        EXPECT_EQ(env.LastError(), Errno::kENFILE);
+        break;
+      }
+      ++opened;
+    }
+    EXPECT_EQ(opened, 8);
+  });
+  EXPECT_EQ(k.vfs().files().Count(), 0u);
+}
+
+TEST(Failure, InodeTableExhaustion) {
+  BootParams bp;
+  bp.max_inodes = 6;  // root + 5
+  Kernel k(bp);
+  RunAsProcess(k, [&](Env& env) {
+    int created = 0;
+    for (int i = 0; i < 10; ++i) {
+      char path[32];
+      std::snprintf(path, sizeof(path), "/i%d", i);
+      const int fd = env.Open(path, kOpenWrite | kOpenCreat);
+      if (fd < 0) {
+        EXPECT_EQ(env.LastError(), Errno::kENOSPC);
+        break;
+      }
+      env.Close(fd);
+      ++created;
+    }
+    EXPECT_EQ(created, 5);
+    // Unlinking frees an inode for reuse.
+    ASSERT_EQ(env.Unlink("/i0"), 0);
+    EXPECT_GE(env.Open("/again", kOpenWrite | kOpenCreat), 0);
+  });
+}
+
+TEST(Failure, BadDescriptorsEverywhere) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    char b[4];
+    EXPECT_LT(env.ReadBuf(-1, std::as_writable_bytes(std::span<char>(b, 4))), 0);
+    EXPECT_EQ(env.LastError(), Errno::kEBADF);
+    EXPECT_LT(env.WriteStr(42, "x"), 0);
+    EXPECT_EQ(env.LastError(), Errno::kEBADF);
+    EXPECT_LT(env.Close(42), 0);
+    EXPECT_LT(env.Dup(42), 0);
+    EXPECT_LT(env.Lseek(42, 0), 0);
+    EXPECT_LT(env.Dup2(0, 9999), 0);
+  });
+}
+
+TEST(Failure, BadUserAddressesInSyscalls) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    const int fd = env.Open("/data", kOpenRdwr | kOpenCreat);
+    ASSERT_GE(fd, 0);
+    env.WriteStr(fd, "payload");
+    env.Lseek(fd, 0);
+    // Reading into an unmapped buffer: EFAULT, not a crash.
+    EXPECT_LT(env.Read(fd, 0x40, 7), 0);
+    EXPECT_EQ(env.LastError(), Errno::kEFAULT);
+    EXPECT_LT(env.Write(fd, 0x40, 7), 0);
+    EXPECT_EQ(env.LastError(), Errno::kEFAULT);
+  });
+}
+
+TEST(Failure, WriteToReadOnlyFdAndViceVersa) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    const int w = env.Open("/rw", kOpenWrite | kOpenCreat);
+    char b[4];
+    EXPECT_LT(env.ReadBuf(w, std::as_writable_bytes(std::span<char>(b, 4))), 0);
+    EXPECT_EQ(env.LastError(), Errno::kEBADF);
+    const int r = env.Open("/rw", kOpenRead);
+    EXPECT_LT(env.WriteStr(r, "no"), 0);
+    EXPECT_EQ(env.LastError(), Errno::kEBADF);
+  });
+}
+
+TEST(Failure, ProcessTableExhaustionInsideGroup) {
+  BootParams bp;
+  bp.max_procs = 3;
+  Kernel k(bp);
+  RunAsProcess(k, [&](Env& env) {
+    std::atomic<bool> hold{true};
+    pid_t a = env.Sproc(
+        [&](Env& c, long) {
+          while (hold.load()) {
+            c.Yield();
+          }
+        },
+        PR_SALL);
+    ASSERT_GT(a, 0);
+    pid_t b = env.Sproc(
+        [&](Env& c, long) {
+          while (hold.load()) {
+            c.Yield();
+          }
+        },
+        PR_SALL);
+    ASSERT_GT(b, 0);
+    EXPECT_LT(env.Sproc([](Env&, long) {}, PR_SALL), 0);
+    EXPECT_EQ(env.LastError(), Errno::kEAGAIN);
+    EXPECT_EQ(env.proc().shaddr->refcnt(), 3u);  // the failure joined nothing
+    hold = false;
+    env.WaitChild();
+    env.WaitChild();
+  });
+  EXPECT_EQ(k.LiveBlocks(), 0u);
+}
+
+TEST(Failure, UlimitZeroBlocksAllWrites) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    const int fd = env.Open("/z", kOpenWrite | kOpenCreat);
+    ASSERT_EQ(env.UlimitSet(0), 0);
+    EXPECT_LT(env.WriteStr(fd, "x"), 0);
+    EXPECT_EQ(env.LastError(), Errno::kEFBIG);
+    // Only root may raise it back — we are root, so this works:
+    ASSERT_EQ(env.UlimitSet(100), 0);
+    EXPECT_EQ(env.WriteStr(fd, "x"), 1);
+  });
+}
+
+TEST(Failure, DeepPathAndLongNames) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    std::string deep;
+    for (int i = 0; i < 32; ++i) {
+      deep += "/d";
+      ASSERT_EQ(env.Mkdir(deep), 0) << deep;
+    }
+    EXPECT_GE(env.Open(deep + "/leaf", kOpenWrite | kOpenCreat), 0);
+    const std::string too_long(300, 'x');
+    EXPECT_LT(env.Open("/" + too_long, kOpenWrite | kOpenCreat), 0);
+    EXPECT_EQ(env.LastError(), Errno::kENAMETOOLONG);
+  });
+}
+
+TEST(Failure, GroupSurvivesMemberSegv) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    const vaddr_t a = env.Mmap(kPageSize);
+    env.Store32(a, 7);
+    pid_t pid = env.Sproc([](Env& c, long) { c.Load32(0x10); }, PR_SALL);
+    int sig = 0;
+    EXPECT_EQ(env.WaitChild(nullptr, &sig), pid);
+    EXPECT_EQ(sig, kSigSegv);
+    // The shared image and the group are intact.
+    EXPECT_EQ(env.Load32(a), 7u);
+    EXPECT_EQ(env.proc().shaddr->refcnt(), 1u);
+    pid = env.Sproc([a](Env& c, long) { EXPECT_EQ(c.Load32(a), 7u); }, PR_SADDR);
+    ASSERT_GT(pid, 0);
+    env.WaitChild();
+  });
+}
+
+}  // namespace
+}  // namespace sg

@@ -1,0 +1,199 @@
+// Kernel-level filesystem syscalls beyond the basics: dup2, close-on-exec
+// via fcntl-style flags (with share-group propagation through s_pofile),
+// getcwd (plain, group-shared cwd, and inside a chroot jail), stat/chmod
+// and hard links through the syscall surface.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "api/kernel.h"
+#include "api/user_env.h"
+
+namespace sg {
+namespace {
+
+void RunAsProcess(Kernel& k, std::function<void(Env&)> body) {
+  auto pid = k.Launch([body = std::move(body)](Env& env, long) { body(env); });
+  ASSERT_TRUE(pid.ok());
+  k.WaitAll();
+}
+
+TEST(FsCalls, Dup2ReplacesAndSharesEntry) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    int a = env.Open("/a", kOpenRdwr | kOpenCreat);
+    int b = env.Open("/b", kOpenRdwr | kOpenCreat);
+    ASSERT_GE(a, 0);
+    ASSERT_GE(b, 0);
+    // b's slot now aliases a's open-file entry (shared offset).
+    EXPECT_EQ(env.Dup2(a, b), b);
+    env.WriteStr(a, "xy");
+    EXPECT_EQ(env.WriteStr(b, "z"), 1);  // continues at offset 2
+    auto st = env.kernel().Stat(env.proc(), "/a");
+    EXPECT_EQ(st.value().size, 3u);
+    EXPECT_EQ(env.kernel().Stat(env.proc(), "/b").value().size, 0u);
+    // dup2 onto itself is a no-op.
+    EXPECT_EQ(env.Dup2(a, a), a);
+    // Bad targets rejected.
+    EXPECT_LT(env.Dup2(a, FdTable::kMaxFds + 5), 0);
+    EXPECT_LT(env.Dup2(99, 5), 0);
+  });
+}
+
+TEST(FsCalls, Dup2PropagatesAcrossGroup) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    int a = env.Open("/src", kOpenRdwr | kOpenCreat);
+    env.WriteStr(a, "payload");
+    std::atomic<int> alias{-1};
+    env.Sproc(
+        [&, a](Env& c, long) {
+          int spare = c.Open("/spare", kOpenRead | kOpenCreat);
+          ASSERT_GE(spare, 0);
+          ASSERT_EQ(c.Dup2(a, spare), spare);  // publishes the new table
+          alias = spare;
+        },
+        PR_SFDS);
+    env.WaitChild();
+    ASSERT_GE(alias.load(), 0);
+    // Our table resynced: the alias works here and shares the offset.
+    EXPECT_EQ(env.Lseek(alias.load(), 0), 0);
+    char buf[8] = {};
+    EXPECT_EQ(env.ReadBuf(alias.load(), std::as_writable_bytes(std::span<char>(buf, 7))), 7);
+    EXPECT_EQ(std::string_view(buf, 7), "payload");
+  });
+}
+
+TEST(FsCalls, CloexecFlagSurvivesGroupSyncAndExec) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    int keep = env.Open("/keep", kOpenWrite | kOpenCreat);
+    int drop = env.Open("/drop", kOpenWrite | kOpenCreat);
+    // A member sets the flag; it propagates through s_pofile.
+    env.Sproc([drop](Env& c, long) { ASSERT_EQ(c.SetCloexec(drop, true), 0); }, PR_SFDS);
+    env.WaitChild();
+    env.Yield();  // resync
+    EXPECT_TRUE(env.kernel().GetCloexec(env.proc(), drop).value());
+    EXPECT_FALSE(env.kernel().GetCloexec(env.proc(), keep).value());
+    // Exec in a fork child honors the propagated flag.
+    env.Fork([keep, drop](Env& c, long) {
+      Image img;
+      img.main = [keep, drop](Env& e2, long) {
+        EXPECT_EQ(e2.WriteStr(keep, "k"), 1);
+        EXPECT_LT(e2.WriteStr(drop, "d"), 0);
+        EXPECT_EQ(e2.LastError(), Errno::kEBADF);
+      };
+      c.Exec(img);
+    });
+    env.WaitChild();
+    EXPECT_LT(env.SetCloexec(42, true), 0);
+    EXPECT_EQ(env.LastError(), Errno::kEBADF);
+  });
+}
+
+TEST(FsCalls, GetcwdWalksToRoot) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    EXPECT_EQ(env.Getcwd(), "/");
+    env.Mkdir("/x");
+    env.Mkdir("/x/y");
+    env.Mkdir("/x/y/z");
+    ASSERT_EQ(env.Chdir("/x/y/z"), 0);
+    EXPECT_EQ(env.Getcwd(), "/x/y/z");
+    ASSERT_EQ(env.Chdir(".."), 0);
+    EXPECT_EQ(env.Getcwd(), "/x/y");
+  });
+}
+
+TEST(FsCalls, GetcwdInsideChrootJail) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    env.Mkdir("/jail");
+    env.Mkdir("/jail/home");
+    ASSERT_EQ(env.Chroot("/jail"), 0);
+    ASSERT_EQ(env.Chdir("/"), 0);
+    EXPECT_EQ(env.Getcwd(), "/");  // the jail's root, not the real one
+    ASSERT_EQ(env.Chdir("/home"), 0);
+    EXPECT_EQ(env.Getcwd(), "/home");
+  });
+}
+
+TEST(FsCalls, GetcwdReflectsGroupChdir) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    env.Mkdir("/team");
+    env.Sproc([](Env& c, long) { ASSERT_EQ(c.Chdir("/team"), 0); }, PR_SDIR);
+    env.WaitChild();
+    EXPECT_EQ(env.Getcwd(), "/team");  // the member moved all of us
+  });
+}
+
+TEST(FsCalls, StatChmodLinkRoundTrip) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    int fd = env.Open("/f", kOpenWrite | kOpenCreat, 0644);
+    env.WriteStr(fd, "12345");
+    auto st = env.kernel().Stat(env.proc(), "/f");
+    ASSERT_TRUE(st.ok());
+    EXPECT_EQ(st.value().size, 5u);
+    EXPECT_EQ(st.value().mode, 0644);
+    EXPECT_EQ(st.value().nlink, 1u);
+    EXPECT_EQ(st.value().type, InodeType::kRegular);
+
+    ASSERT_TRUE(env.kernel().Chmod(env.proc(), "/f", 0600).ok());
+    EXPECT_EQ(env.kernel().Stat(env.proc(), "/f").value().mode, 0600);
+
+    ASSERT_TRUE(env.kernel().Link(env.proc(), "/f", "/f2").ok());
+    auto st2 = env.kernel().Stat(env.proc(), "/f2");
+    EXPECT_EQ(st2.value().ino, st.value().ino);  // same inode
+    EXPECT_EQ(st2.value().nlink, 2u);
+
+    auto fst = env.kernel().Fstat(env.proc(), fd);
+    EXPECT_EQ(fst.value().ino, st.value().ino);
+
+    // Only the owner (or root) may chmod: drop privileges and retry.
+    ASSERT_EQ(env.Setuid(9), 0);
+    EXPECT_EQ(env.kernel().Chmod(env.proc(), "/f", 0777).error(), Errno::kEPERM);
+  });
+}
+
+TEST(FsCalls, ListDirEnumeratesSorted) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    env.Mkdir("/d");
+    env.Open("/d/charlie", kOpenWrite | kOpenCreat);
+    env.Open("/d/alpha", kOpenWrite | kOpenCreat);
+    env.Mkdir("/d/bravo");
+    auto names = env.ListDir("/d");
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "alpha");
+    EXPECT_EQ(names[1], "bravo");
+    EXPECT_EQ(names[2], "charlie");
+    EXPECT_TRUE(env.ListDir("/d/alpha").empty());
+    EXPECT_EQ(env.LastError(), Errno::kENOTDIR);
+    // Read permission enforced.
+    ASSERT_TRUE(env.kernel().Chmod(env.proc(), "/d", 0111).ok());
+    ASSERT_EQ(env.Setuid(5), 0);
+    EXPECT_TRUE(env.ListDir("/d").empty());
+    EXPECT_EQ(env.LastError(), Errno::kEACCES);
+  });
+}
+
+TEST(FsCalls, UnlinkedCwdReportsDisconnected) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    env.Mkdir("/tmpdir");
+    ASSERT_EQ(env.Chdir("/tmpdir"), 0);
+    // Remove the directory out from under ourselves (allowed: the cwd ref
+    // keeps the inode alive, the name is gone).
+    ASSERT_EQ(env.kernel().Rmdir(env.proc(), "/tmpdir").ok(), true);
+    EXPECT_EQ(env.Getcwd(), "");
+    EXPECT_EQ(env.LastError(), Errno::kENOENT);
+    // We can still escape upward.
+    ASSERT_EQ(env.Chdir("/"), 0);
+    EXPECT_EQ(env.Getcwd(), "/");
+  });
+}
+
+}  // namespace
+}  // namespace sg

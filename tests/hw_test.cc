@@ -1,0 +1,161 @@
+// Unit tests for hw/: physical frame allocation/refcounts, the software-
+// managed TLB, and the cross-processor flush accounting.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "hw/cpu_set.h"
+#include "hw/phys_mem.h"
+#include "hw/tlb.h"
+
+namespace sg {
+namespace {
+
+TEST(PhysMem, AllocZeroedAndExhaustion) {
+  PhysMem mem(4 * kPageSize);
+  EXPECT_EQ(mem.TotalFrames(), 4u);
+  std::vector<pfn_t> frames;
+  for (int i = 0; i < 4; ++i) {
+    auto f = mem.AllocFrame();
+    ASSERT_TRUE(f.ok());
+    // Demand-zero: a fresh frame reads as zeroes.
+    const std::byte* d = mem.FrameData(f.value());
+    for (u64 b = 0; b < kPageSize; b += 512) {
+      EXPECT_EQ(d[b], std::byte{0});
+    }
+    frames.push_back(f.value());
+  }
+  EXPECT_EQ(mem.FreeFrames(), 0u);
+  EXPECT_EQ(mem.AllocFrame().error(), Errno::kENOMEM);
+  mem.Unref(frames[0]);
+  EXPECT_EQ(mem.FreeFrames(), 1u);
+  EXPECT_TRUE(mem.AllocFrame().ok());
+  for (size_t i = 1; i < frames.size(); ++i) {
+    mem.Unref(frames[i]);
+  }
+}
+
+TEST(PhysMem, RefcountSharing) {
+  PhysMem mem(4 * kPageSize);
+  pfn_t f = mem.AllocFrame().value();
+  EXPECT_EQ(mem.RefCount(f), 1u);
+  EXPECT_TRUE(mem.TakeExclusive(f));  // sole owner
+  mem.Ref(f);
+  EXPECT_EQ(mem.RefCount(f), 2u);
+  EXPECT_FALSE(mem.TakeExclusive(f));  // shared: caller must copy
+  mem.Unref(f);
+  mem.Unref(f);
+  EXPECT_EQ(mem.FreeFrames(), 4u);
+}
+
+TEST(PhysMem, DirtyFrameIsRezeroedOnReuse) {
+  PhysMem mem(2 * kPageSize);
+  pfn_t f = mem.AllocFrame().value();
+  std::memset(mem.FrameData(f), 0xab, kPageSize);
+  mem.Unref(f);
+  pfn_t g = mem.AllocFrame().value();
+  EXPECT_EQ(mem.FrameData(g)[0], std::byte{0});
+  EXPECT_EQ(mem.FrameData(g)[kPageSize - 1], std::byte{0});
+  mem.Unref(g);
+}
+
+TEST(PhysMem, ConcurrentAllocFree) {
+  PhysMem mem(256 * kPageSize);
+  std::vector<std::thread> ts;
+  for (int i = 0; i < 8; ++i) {
+    ts.emplace_back([&] {
+      for (int n = 0; n < 500; ++n) {
+        auto f = mem.AllocFrame();
+        if (f.ok()) {
+          mem.Unref(f.value());
+        }
+      }
+    });
+  }
+  for (auto& t : ts) {
+    t.join();
+  }
+  EXPECT_EQ(mem.FreeFrames(), 256u);
+}
+
+TEST(Tlb, ProbeInsertFlush) {
+  Tlb tlb(64);
+  EXPECT_EQ(tlb.Probe(5, false).kind, TlbProbe::Kind::kMiss);
+  tlb.Insert(5, 42, /*writable=*/false);
+  auto p = tlb.Probe(5, false);
+  EXPECT_EQ(p.kind, TlbProbe::Kind::kHit);
+  EXPECT_EQ(p.pfn, 42u);
+  // Write access to a read-only entry: protection fault (COW trap path).
+  EXPECT_EQ(tlb.Probe(5, true).kind, TlbProbe::Kind::kWriteProt);
+  tlb.Insert(5, 42, /*writable=*/true);
+  EXPECT_EQ(tlb.Probe(5, true).kind, TlbProbe::Kind::kHit);
+  tlb.FlushPage(5);
+  EXPECT_EQ(tlb.Probe(5, false).kind, TlbProbe::Kind::kMiss);
+}
+
+TEST(Tlb, DirectMappedConflict) {
+  Tlb tlb(64);
+  tlb.Insert(3, 10, true);
+  tlb.Insert(3 + 64, 11, true);  // same slot: evicts vpn 3
+  EXPECT_EQ(tlb.Probe(3, false).kind, TlbProbe::Kind::kMiss);
+  EXPECT_EQ(tlb.Probe(3 + 64, false).pfn, 11u);
+}
+
+TEST(Tlb, FlushRangeAndAll) {
+  Tlb tlb(64);
+  for (u64 v = 0; v < 32; ++v) {
+    tlb.Insert(v, static_cast<pfn_t>(v + 100), true);
+  }
+  tlb.FlushRange(8, 16);
+  for (u64 v = 0; v < 32; ++v) {
+    const bool expect_hit = v < 8 || v >= 16;
+    EXPECT_EQ(tlb.Probe(v, false).kind == TlbProbe::Kind::kHit, expect_hit) << v;
+  }
+  tlb.FlushAll();
+  EXPECT_EQ(tlb.Probe(0, false).kind, TlbProbe::Kind::kMiss);
+  EXPECT_GE(tlb.flushes(), 2u);
+}
+
+TEST(Tlb, WithEntryPinsTranslation) {
+  Tlb tlb(64);
+  tlb.Insert(7, 70, true);
+  bool ran = false;
+  EXPECT_TRUE(tlb.WithEntry(7, true, [&](pfn_t pfn) {
+    EXPECT_EQ(pfn, 70u);
+    ran = true;
+  }));
+  EXPECT_TRUE(ran);
+  EXPECT_FALSE(tlb.WithEntry(8, false, [](pfn_t) { FAIL(); }));
+  // Write permission enforced.
+  tlb.Insert(9, 90, false);
+  EXPECT_FALSE(tlb.WithEntry(9, true, [](pfn_t) { FAIL(); }));
+  EXPECT_TRUE(tlb.WithEntry(9, false, [](pfn_t) {}));
+}
+
+TEST(Tlb, StatsCount) {
+  Tlb tlb(64);
+  tlb.Insert(1, 11, true);
+  (void)tlb.Probe(1, false);
+  (void)tlb.Probe(2, false);
+  EXPECT_EQ(tlb.hits(), 1u);
+  EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(CpuSet, SynchronousFlushHitsAllTargets) {
+  CpuSet cpus(4);
+  EXPECT_EQ(cpus.ncpus(), 4u);
+  Tlb a(64), b(64);
+  a.Insert(1, 10, true);
+  b.Insert(2, 20, true);
+  Tlb* targets[] = {&a, &b};
+  cpus.SynchronousFlush(targets);
+  EXPECT_EQ(a.Probe(1, false).kind, TlbProbe::Kind::kMiss);
+  EXPECT_EQ(b.Probe(2, false).kind, TlbProbe::Kind::kMiss);
+  EXPECT_EQ(cpus.shootdowns(), 1u);
+  EXPECT_EQ(cpus.ipis(), 4u);  // one interrupt per processor
+}
+
+}  // namespace
+}  // namespace sg

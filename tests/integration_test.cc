@@ -1,0 +1,313 @@
+// Integration tests: end-to-end scenarios mirroring the example programs
+// and the process-environment models of Figures 1-4.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "api/kernel.h"
+#include "api/user_env.h"
+#include "mach/task.h"
+
+namespace sg {
+namespace {
+
+void RunAsProcess(Kernel& k, std::function<void(Env&)> body) {
+  auto pid = k.Launch([body = std::move(body)](Env& env, long) { body(env); });
+  ASSERT_TRUE(pid.ok());
+  k.WaitAll();
+}
+
+// Figure 1 — the Version 7 model: fully independent processes, a shared
+// filesystem, pipes as the only data path.
+TEST(Figures, V7PipelineShellStyle) {
+  Kernel k;
+  std::atomic<int> total{0};
+  RunAsProcess(k, [&](Env& env) {
+    int p1r = -1, p1w = -1, p2r = -1, p2w = -1;
+    ASSERT_EQ(env.Pipe(&p1r, &p1w), 0);
+    ASSERT_EQ(env.Pipe(&p2r, &p2w), 0);
+    // stage 1: produce numbers
+    env.Fork([p1w, p1r, p2r, p2w](Env& c, long) {
+      c.Close(p1r);
+      c.Close(p2r);
+      c.Close(p2w);
+      for (u32 i = 1; i <= 10; ++i) {
+        c.WriteBuf(p1w, std::as_bytes(std::span<const u32>(&i, 1)));
+      }
+      c.Close(p1w);
+    });
+    // stage 2: double them
+    env.Fork([p1r, p1w, p2w, p2r](Env& c, long) {
+      c.Close(p1w);
+      c.Close(p2r);
+      u32 v;
+      while (c.ReadBuf(p1r, std::as_writable_bytes(std::span<u32>(&v, 1))) > 0) {
+        v *= 2;
+        c.WriteBuf(p2w, std::as_bytes(std::span<const u32>(&v, 1)));
+      }
+      c.Close(p2w);
+      c.Close(p1r);
+    });
+    env.Close(p1r);
+    env.Close(p1w);
+    env.Close(p2w);
+    // stage 3 (here): sum
+    u32 v;
+    while (env.ReadBuf(p2r, std::as_writable_bytes(std::span<u32>(&v, 1))) > 0) {
+      total += static_cast<int>(v);
+    }
+    env.WaitChild();
+    env.WaitChild();
+  });
+  EXPECT_EQ(total.load(), 110);  // 2 * (1 + ... + 10)
+}
+
+// Figure 2 — the System V model: unrelated processes rendezvous on SysV
+// shared memory + semaphores.
+TEST(Figures, SysVProducersConsumers) {
+  Kernel k;
+  std::atomic<u32> consumed_sum{0};
+  auto producer = k.Launch([&](Env& env, long) {
+    const int shm = env.Shmget(100, kPageSize);
+    const int full = env.Semget(101, 0);
+    const int empty = env.Semget(102, 1);
+    const vaddr_t a = env.Shmat(shm);
+    for (u32 i = 1; i <= 20; ++i) {
+      ASSERT_EQ(env.SemOp(empty, -1), 0);
+      env.Store32(a, i);
+      ASSERT_EQ(env.SemOp(full, 1), 0);
+    }
+  });
+  auto consumer = k.Launch([&](Env& env, long) {
+    const int shm = env.Shmget(100, kPageSize);
+    const int full = env.Semget(101, 0);
+    const int empty = env.Semget(102, 1);
+    const vaddr_t a = env.Shmat(shm);
+    for (u32 i = 0; i < 20; ++i) {
+      ASSERT_EQ(env.SemOp(full, -1), 0);
+      consumed_sum += env.Load32(a);
+      ASSERT_EQ(env.SemOp(empty, 1), 0);
+    }
+  });
+  ASSERT_TRUE(producer.ok() && consumer.ok());
+  k.WaitAll();
+  EXPECT_EQ(consumed_sum.load(), 210u);
+}
+
+// Figure 3 — the Mach model: threads of control inside ONE task, sharing
+// the whole context with no selectivity.
+TEST(Figures, MachThreadsModel) {
+  Kernel k;
+  std::atomic<u32> result{0};
+  RunAsProcess(k, [&](Env& env) {
+    const vaddr_t a = env.Mmap(kPageSize);
+    MachTask task(env.proc(), k.mem(), k.sched());
+    for (int t = 0; t < 3; ++t) {
+      auto tid = task.ThreadCreate([&, a](int me) {
+        Env tenv(k, task.proc());
+        tenv.FetchAdd32(a, static_cast<u32>(me));
+      });
+      ASSERT_TRUE(tid.ok());
+    }
+    task.JoinAll();
+    result = env.Load32(a);
+  });
+  EXPECT_EQ(result.load(), 6u);  // tids 1+2+3
+}
+
+// Figure 4 — the IRIX model: one group, selective sharing per member.
+TEST(Figures, IrixSelectiveSharing) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    const vaddr_t a = env.Mmap(kPageSize);
+    env.Store32(a, 1);
+    // Member A: shares VM only. Its descriptor table is a snapshot taken
+    // at sproc (like fork); an fd the PARENT opens afterwards must not
+    // appear in it.
+    std::atomic<bool> a_saw_vm{false};
+    std::atomic<bool> a_saw_late_fd{true};
+    std::atomic<int> late_fd{-1};
+    int fd = env.Open("/shared-file", kOpenRdwr | kOpenCreat);
+    ASSERT_GE(fd, 0);
+    env.Sproc(
+        [&, a](Env& c, long) {
+          a_saw_vm = (c.Load32(a) == 1);
+          while (late_fd.load() < 0) {
+            c.Yield();
+          }
+          char b[1];
+          const i64 n =
+              c.ReadBuf(late_fd.load(), std::as_writable_bytes(std::span<char>(b, 1)));
+          a_saw_late_fd = !(n < 0 && c.LastError() == Errno::kEBADF);
+        },
+        PR_SADDR);
+    late_fd = env.Open("/late-file", kOpenRdwr | kOpenCreat);
+    ASSERT_GE(late_fd.load(), 0);
+    env.WaitChild();
+    env.Close(late_fd.load());
+    EXPECT_TRUE(a_saw_vm.load());
+    EXPECT_FALSE(a_saw_late_fd.load());  // fd table NOT shared for this member
+
+    // Member B: shares descriptors only.
+    std::atomic<bool> b_saw_fd{false};
+    std::atomic<bool> b_saw_vm{true};
+    env.Sproc(
+        [&, a, fd](Env& c, long) {
+          c.Store32(a, 99);  // writes its COW copy
+          b_saw_vm = false;  // if the parent sees 99, VM leaked (checked below)
+          char b[1];
+          c.Lseek(fd, 0);
+          b_saw_fd = (c.ReadBuf(fd, std::as_writable_bytes(std::span<char>(b, 1))) >= 0);
+        },
+        PR_SFDS);
+    env.WaitChild();
+    EXPECT_TRUE(b_saw_fd.load());
+    EXPECT_EQ(env.Load32(a), 1u);  // B's VM writes stayed private
+  });
+}
+
+// The async-I/O scheme of §4 in miniature (the full one is examples/async_io).
+TEST(Scenarios, SharedFdOffsetCoordination) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    int fd = env.Open("/log", kOpenWrite | kOpenCreat);
+    ASSERT_GE(fd, 0);
+    constexpr int kWriters = 4;
+    for (int w = 0; w < kWriters; ++w) {
+      env.Sproc(
+          [fd](Env& c, long idx) {
+            char line[8];
+            std::snprintf(line, sizeof(line), "w%ld\n", idx);
+            for (int n = 0; n < 8; ++n) {
+              // Shared open-file entry: the offset coordinates the writers.
+              c.WriteBuf(fd, std::as_bytes(std::span<const char>(line, 3)));
+            }
+          },
+          PR_SFDS | PR_SADDR, w);
+    }
+    for (int w = 0; w < kWriters; ++w) {
+      env.WaitChild();
+    }
+    auto st = env.kernel().Stat(env.proc(), "/log");
+    ASSERT_TRUE(st.ok());
+    // No write tore or overwrote another: exact total length.
+    EXPECT_EQ(st.value().size, static_cast<u64>(kWriters) * 8 * 3);
+  });
+}
+
+// Self-scheduling worker pool (§3) at integration scale.
+TEST(Scenarios, SelfSchedulingPoolComputesCorrectly) {
+  Kernel k;
+  std::atomic<u64> result{0};
+  RunAsProcess(k, [&](Env& env) {
+    constexpr u32 kN = 10000;
+    const vaddr_t base = env.Mmap(8 * kPageSize);
+    const vaddr_t cursor = base;
+    const vaddr_t lock = base + 64;
+    const vaddr_t sum = base + 128;
+    for (int w = 0; w < 4; ++w) {
+      env.Sproc(
+          [base, cursor, lock, sum](Env& c, long) {
+            u64 local = 0;
+            for (;;) {
+              const u32 i = c.FetchAdd32(cursor, 1);
+              if (i >= kN) {
+                break;
+              }
+              local += i;
+            }
+            c.SpinLock(lock);
+            c.Store<u64>(sum, c.Load<u64>(sum) + local);
+            c.SpinUnlock(lock);
+          },
+          PR_SADDR);
+    }
+    for (int w = 0; w < 4; ++w) {
+      env.WaitChild();
+    }
+    result = env.Load<u64>(sum);
+  });
+  EXPECT_EQ(result.load(), u64{10000} * 9999 / 2);
+}
+
+// Group-wide chroot: a "service jail" for every member at once.
+TEST(Scenarios, GroupChrootJail) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    env.Mkdir("/jail");
+    ASSERT_GE(env.Open("/jail/inside", kOpenWrite | kOpenCreat), 0);
+    ASSERT_GE(env.Open("/outside", kOpenWrite | kOpenCreat), 0);
+    env.Sproc(
+        [](Env& c, long) {
+          ASSERT_EQ(c.Chroot("/jail"), 0);
+          ASSERT_EQ(c.Chdir("/"), 0);
+        },
+        PR_SDIR | PR_SADDR);
+    env.WaitChild();
+    // We were re-rooted too.
+    EXPECT_GE(env.Open("/inside", kOpenRead), 0);
+    EXPECT_LT(env.Open("/outside", kOpenRead), 0);
+    EXPECT_EQ(env.LastError(), Errno::kENOENT);
+  });
+}
+
+// §8 extension: group priority actually reorders scheduling.
+TEST(Scenarios, GroupPriorityPrctl) {
+  BootParams bp;
+  bp.ncpus = 1;
+  Kernel k(bp);
+  RunAsProcess(k, [&](Env& env) {
+    std::atomic<bool> hold{true};
+    env.Sproc(
+        [&](Env& c, long) {
+          while (hold.load()) {
+            c.Yield();
+          }
+        },
+        PR_SALL);
+    const i64 members = env.Prctl(PR_SETGROUPPRI, 7);
+    EXPECT_EQ(members, 2);
+    EXPECT_EQ(env.proc().priority.load(), 7);
+    hold = false;
+    env.WaitChild();
+    // Not in a group after everyone leaves? We still are (refcnt 1).
+    EXPECT_EQ(env.Prctl(PR_SETGROUPPRI, 0), 1);
+  });
+  // Outside any group it is invalid.
+  RunAsProcess(k, [&](Env& env) {
+    EXPECT_LT(env.Prctl(PR_SETGROUPPRI, 3), 0);
+    EXPECT_EQ(env.LastError(), Errno::kEINVAL);
+  });
+}
+
+// Race-free sigpause (the syscall added for E6).
+TEST(Scenarios, SigpauseDoesNotLoseWakeups) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    std::atomic<int> hits{0};
+    std::atomic<bool> armed{false};
+    pid_t pid = env.Fork([&](Env& c, long) {
+      c.Signal(kSigUsr1, [&](int) { hits.fetch_add(1); });
+      armed = true;
+      for (int i = 0; i < 20; ++i) {
+        while (hits.load() <= i) {
+          c.Sigpause();
+        }
+      }
+    });
+    while (!armed.load()) {
+      env.Yield();
+    }
+    for (int i = 0; i < 20; ++i) {
+      env.Kill(pid, kSigUsr1);
+      while (hits.load() <= i) {
+        env.Yield();
+      }
+    }
+    env.WaitChild();
+    EXPECT_EQ(hits.load(), 20);
+  });
+}
+
+}  // namespace
+}  // namespace sg

@@ -1,0 +1,260 @@
+// System V IPC baselines: shared-memory segments across unrelated
+// processes, kernel semaphores (semop semantics, EIDRM), message queues,
+// and the user-level busy-wait locks built on shared memory.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "api/kernel.h"
+#include "api/user_env.h"
+
+namespace sg {
+namespace {
+
+void RunAsProcess(Kernel& k, std::function<void(Env&)> body) {
+  auto pid = k.Launch([body = std::move(body)](Env& env, long) { body(env); });
+  ASSERT_TRUE(pid.ok());
+  k.WaitAll();
+}
+
+TEST(SysvShm, SharedAcrossFork) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    int id = env.Shmget(7, 2 * kPageSize);
+    ASSERT_GE(id, 0);
+    vaddr_t a = env.Shmat(id);
+    ASSERT_NE(a, 0u);
+    env.Store32(a, 5);
+    // Unlike anonymous memory, a SysV segment stays genuinely shared
+    // across fork — the Beck & Olien process-pool pattern depends on it.
+    env.Fork([a](Env& c, long) {
+      EXPECT_EQ(c.Load32(a), 5u);
+      c.Store32(a, 6);
+    });
+    env.WaitChild();
+    EXPECT_EQ(env.Load32(a), 6u);
+  });
+}
+
+TEST(SysvShm, KeyLookupFindsSameSegment) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    int id1 = env.Shmget(42, kPageSize);
+    int id2 = env.Shmget(42, kPageSize);
+    EXPECT_EQ(id1, id2);
+    int id3 = env.Shmget(0, kPageSize);  // key 0: always fresh
+    EXPECT_NE(id1, id3);
+    // Asking for more than the existing segment is an error.
+    EXPECT_LT(env.Shmget(42, 10 * kPageSize), 0);
+    EXPECT_EQ(env.LastError(), Errno::kEINVAL);
+  });
+}
+
+TEST(SysvShm, TwoUnrelatedProcessesShare) {
+  Kernel k;
+  std::atomic<u32> got{0};
+  auto p1 = k.Launch([&](Env& env, long) {
+    int id = env.Shmget(9, kPageSize);
+    vaddr_t a = env.Shmat(id);
+    env.Store32(a, 0);
+    while (env.AtomicRead32(a) != 77) {
+      env.Yield();
+    }
+    got = env.Load32(a + 4);
+  });
+  auto p2 = k.Launch([&](Env& env, long) {
+    int id = env.Shmget(9, kPageSize);
+    vaddr_t a = env.Shmat(id);
+    env.Store32(a + 4, 88);
+    env.AtomicWrite32(a, 77);
+  });
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  k.WaitAll();
+  EXPECT_EQ(got.load(), 88u);
+}
+
+TEST(SysvShm, DetachAndRemove) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    int id = env.Shmget(0, kPageSize);
+    vaddr_t a = env.Shmat(id);
+    env.Store32(a, 1);
+    EXPECT_EQ(env.Shmdt(a), 0);
+    // Address gone; remove the id too.
+    EXPECT_EQ(env.kernel().ShmRemove(env.proc(), id).ok(), true);
+    EXPECT_EQ(env.Shmat(id), 0u);
+    EXPECT_EQ(env.LastError(), Errno::kEIDRM);
+  });
+}
+
+TEST(SysvSemaphore, PingPong) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    int ping = env.Semget(0, 0);
+    int pong = env.Semget(0, 0);
+    std::atomic<int> rounds{0};
+    env.Fork([&, ping, pong](Env& c, long) {
+      for (int i = 0; i < 50; ++i) {
+        ASSERT_EQ(c.SemOp(ping, -1), 0);
+        rounds.fetch_add(1);
+        ASSERT_EQ(c.SemOp(pong, 1), 0);
+      }
+    });
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_EQ(env.SemOp(ping, 1), 0);
+      ASSERT_EQ(env.SemOp(pong, -1), 0);
+    }
+    env.WaitChild();
+    EXPECT_EQ(rounds.load(), 50);
+  });
+}
+
+TEST(SysvSemaphore, RemoveWakesSleepersWithEidrm) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    int sem = env.Semget(0, 0);
+    std::atomic<int> err{0};
+    env.Fork([&, sem](Env& c, long) {
+      int r = c.SemOp(sem, -1);
+      EXPECT_LT(r, 0);
+      err = static_cast<int>(c.LastError());
+    });
+    for (int i = 0; i < 10; ++i) {
+      env.Yield();
+    }
+    EXPECT_EQ(env.kernel().SemRemove(env.proc(), sem).ok(), true);
+    env.WaitChild();
+    EXPECT_EQ(err.load(), static_cast<int>(Errno::kEIDRM));
+  });
+}
+
+TEST(SysvSemaphore, MultiUnitOps) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    int sem = env.Semget(0, 5);
+    EXPECT_EQ(env.SemOp(sem, -3), 0);  // 5 -> 2
+    std::atomic<bool> acquired{false};
+    env.Fork([&, sem](Env& c, long) {
+      ASSERT_EQ(c.SemOp(sem, -4), 0);  // needs 4: blocks until V(2)
+      acquired = true;
+    });
+    for (int i = 0; i < 10; ++i) {
+      env.Yield();
+    }
+    EXPECT_FALSE(acquired.load());
+    EXPECT_EQ(env.SemOp(sem, 2), 0);  // 2 -> 4: releases the sleeper
+    env.WaitChild();
+    EXPECT_TRUE(acquired.load());
+    EXPECT_LT(env.SemOp(sem, 0), 0);  // wait-for-zero unsupported
+  });
+}
+
+TEST(SysvMsg, QueueRoundTripAndFifoOrder) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    int q = env.Msgget(0);
+    const char m1[] = "first";
+    const char m2[] = "second";
+    ASSERT_EQ(env.Msgsnd(q, std::as_bytes(std::span<const char>(m1, 5))), 0);
+    ASSERT_EQ(env.Msgsnd(q, std::as_bytes(std::span<const char>(m2, 6))), 0);
+    char buf[16];
+    auto out = std::as_writable_bytes(std::span<char>(buf, sizeof(buf)));
+    EXPECT_EQ(env.Msgrcv(q, out), 5);
+    EXPECT_EQ(std::string_view(buf, 5), "first");
+    EXPECT_EQ(env.Msgrcv(q, out), 6);
+    EXPECT_EQ(std::string_view(buf, 6), "second");
+  });
+}
+
+TEST(SysvMsg, ReceiverBlocksUntilSend) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    int q = env.Msgget(0);
+    std::atomic<i64> got{-2};
+    env.Fork([&, q](Env& c, long) {
+      char buf[8];
+      got = c.Msgrcv(q, std::as_writable_bytes(std::span<char>(buf, sizeof(buf))));
+    });
+    for (int i = 0; i < 10; ++i) {
+      env.Yield();
+    }
+    EXPECT_EQ(got.load(), -2);  // still blocked
+    const char m[] = "x";
+    ASSERT_EQ(env.Msgsnd(q, std::as_bytes(std::span<const char>(m, 1))), 0);
+    env.WaitChild();
+    EXPECT_EQ(got.load(), 1);
+  });
+}
+
+TEST(SysvMsg, TooSmallBufferReportsE2Big) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    int q = env.Msgget(0);
+    const char m[] = "longish";
+    ASSERT_EQ(env.Msgsnd(q, std::as_bytes(std::span<const char>(m, 7))), 0);
+    char tiny[2];
+    EXPECT_LT(env.Msgrcv(q, std::as_writable_bytes(std::span<char>(tiny, 2))), 0);
+    EXPECT_EQ(env.LastError(), Errno::kE2BIG);
+  });
+}
+
+TEST(UserLock, SpinLockExcludesAcrossGroup) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    vaddr_t lock = env.Mmap(kPageSize);
+    vaddr_t data = lock + 64;
+    constexpr int kMembers = 4;
+    constexpr int kRounds = 500;
+    for (int i = 0; i < kMembers; ++i) {
+      env.Sproc(
+          [lock, data](Env& c, long) {
+            for (int n = 0; n < kRounds; ++n) {
+              c.SpinLock(lock);
+              // Non-atomic read-modify-write protected by the lock.
+              c.Store32(data, c.Load32(data) + 1);
+              c.SpinUnlock(lock);
+            }
+          },
+          PR_SADDR);
+    }
+    for (int i = 0; i < kMembers; ++i) {
+      env.WaitChild();
+    }
+    EXPECT_EQ(env.Load32(data), kMembers * kRounds);
+  });
+}
+
+TEST(UserLock, BarrierSynchronizesPhases) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    vaddr_t bar = env.Mmap(kPageSize);
+    vaddr_t flags = bar + 64;
+    constexpr u32 kParties = 4;  // 3 children + parent
+    std::atomic<bool> phase_error{false};
+    for (u32 i = 0; i < kParties - 1; ++i) {
+      env.Sproc(
+          [&, bar, flags](Env& c, long idx) {
+            c.Store32(flags + 4 * static_cast<vaddr_t>(idx), 1);
+            c.SpinBarrier(bar, kParties);
+            // After the barrier every flag must be visible.
+            for (u32 j = 0; j < kParties - 1; ++j) {
+              if (c.Load32(flags + 4 * j) != 1) {
+                phase_error = true;
+              }
+            }
+          },
+          PR_SADDR, static_cast<long>(i));
+    }
+    env.SpinBarrier(bar, kParties);
+    for (u32 j = 0; j < kParties - 1; ++j) {
+      EXPECT_EQ(env.Load32(flags + 4 * j), 1u);
+    }
+    for (u32 i = 0; i < kParties - 1; ++i) {
+      env.WaitChild();
+    }
+    EXPECT_FALSE(phase_error.load());
+  });
+}
+
+}  // namespace
+}  // namespace sg

@@ -1,0 +1,114 @@
+// The Mach-style threads baseline: whole-context sharing, per-thread
+// kernel-resource overhead, and join semantics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "api/kernel.h"
+#include "api/user_env.h"
+#include "mach/task.h"
+
+namespace sg {
+namespace {
+
+TEST(Mach, ThreadsShareTheTaskAddressSpace) {
+  Kernel k;
+  std::atomic<u32> sum{0};
+  (void)k.Launch([&](Env& env, long) {
+    MachTask task(env.proc(), k.mem(), k.sched());
+    vaddr_t ctr = env.Mmap(kPageSize);
+    for (int i = 0; i < 4; ++i) {
+      auto tid = task.ThreadCreate([&, ctr](int) {
+        Env tenv(k, task.proc());
+        for (int n = 0; n < 1000; ++n) {
+          tenv.FetchAdd32(ctr, 1);
+        }
+      });
+      ASSERT_TRUE(tid.ok());
+    }
+    task.JoinAll();
+    sum = env.Load32(ctr);
+  });
+  k.WaitAll();
+  EXPECT_EQ(sum.load(), 4000u);
+}
+
+TEST(Mach, PerThreadKernelPagesChargedAndReleased) {
+  Kernel k;
+  (void)k.Launch([&](Env& env, long) {
+    const u64 free_before = k.mem().FreeFrames();
+    MachTask task(env.proc(), k.mem(), k.sched());
+    std::atomic<bool> hold{true};
+    auto tid = task.ThreadCreate([&](int) {
+      while (hold.load()) {
+        std::this_thread::yield();
+      }
+    });
+    ASSERT_TRUE(tid.ok());
+    // "the resource overhead of extra stack and user area pages" (§2).
+    EXPECT_EQ(k.mem().FreeFrames(), free_before - kThreadKernelPages);
+    hold = false;
+    EXPECT_TRUE(task.ThreadJoin(tid.value()).ok());
+    EXPECT_EQ(k.mem().FreeFrames(), free_before);
+  });
+  k.WaitAll();
+}
+
+TEST(Mach, JoinUnknownTidFails) {
+  Kernel k;
+  (void)k.Launch([&](Env& env, long) {
+    MachTask task(env.proc(), k.mem(), k.sched());
+    EXPECT_EQ(task.ThreadJoin(99).error(), Errno::kESRCH);
+    EXPECT_EQ(task.LiveThreads(), 0u);
+  });
+  k.WaitAll();
+}
+
+TEST(Mach, ThreadsSeeTaskDescriptors) {
+  Kernel k;
+  std::atomic<i64> wrote{0};
+  (void)k.Launch([&](Env& env, long) {
+    int fd = env.Open("/shared-by-threads", kOpenWrite | kOpenCreat);
+    ASSERT_GE(fd, 0);
+    MachTask task(env.proc(), k.mem(), k.sched());
+    auto tid = task.ThreadCreate([&, fd](int) {
+      Env tenv(k, task.proc());
+      wrote = tenv.WriteStr(fd, "thread");  // the whole fd table is shared
+    });
+    ASSERT_TRUE(tid.ok());
+    task.JoinAll();
+  });
+  k.WaitAll();
+  EXPECT_EQ(wrote.load(), 6);
+}
+
+TEST(Mach, CreationExhaustionOnTinyMemory) {
+  BootParams bp;
+  bp.phys_mem_bytes = 64 * kPageSize;
+  Kernel k(bp);
+  (void)k.Launch([&](Env& env, long) {
+    MachTask task(env.proc(), k.mem(), k.sched());
+    std::atomic<bool> hold{true};
+    int created = 0;
+    for (int i = 0; i < 64; ++i) {
+      auto tid = task.ThreadCreate([&](int) {
+        while (hold.load()) {
+          std::this_thread::yield();
+        }
+      });
+      if (!tid.ok()) {
+        EXPECT_EQ(tid.error(), Errno::kENOMEM);
+        break;
+      }
+      ++created;
+    }
+    EXPECT_GT(created, 0);
+    EXPECT_LT(created, 64);  // ran out of kernel pages before 64 threads
+    hold = false;
+    task.JoinAll();
+  });
+  k.WaitAll();
+}
+
+}  // namespace
+}  // namespace sg

@@ -1,0 +1,264 @@
+// Process model: fork semantics, wait/exit/reparenting, exec overlay, and
+// the u-area inheritance rules.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "api/kernel.h"
+#include "api/user_env.h"
+#include "vm/access.h"
+
+namespace sg {
+namespace {
+
+void RunAsProcess(Kernel& k, std::function<void(Env&)> body) {
+  auto pid = k.Launch([body = std::move(body)](Env& env, long) { body(env); });
+  ASSERT_TRUE(pid.ok());
+  k.WaitAll();
+}
+
+TEST(Proc, ForkInheritsFdsAndSharesOffset) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    int fd = env.Open("/f", kOpenRdwr | kOpenCreat);
+    ASSERT_GE(fd, 0);
+    env.WriteStr(fd, "abcdef");
+    env.Lseek(fd, 0);
+    env.Fork([fd](Env& c, long) {
+      char b[3] = {};
+      c.ReadBuf(fd, std::as_writable_bytes(std::span<char>(b, 3)));
+      EXPECT_EQ(std::string_view(b, 3), "abc");
+    });
+    env.WaitChild();
+    char b[3] = {};
+    env.ReadBuf(fd, std::as_writable_bytes(std::span<char>(b, 3)));
+    EXPECT_EQ(std::string_view(b, 3), "def");  // dup'd entry: shared offset
+  });
+}
+
+TEST(Proc, ForkChildFdChangesAreLocal) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    int fd = env.Open("/g", kOpenWrite | kOpenCreat);
+    env.Fork([fd](Env& c, long) {
+      EXPECT_EQ(c.Close(fd), 0);
+      EXPECT_GE(c.Open("/h", kOpenWrite | kOpenCreat), 0);  // reuses the slot
+    });
+    env.WaitChild();
+    // No propagation outside a share group: the fd still works here.
+    EXPECT_EQ(env.WriteStr(fd, "x"), 1);
+  });
+}
+
+TEST(Proc, WaitReturnsStatusAndReapsZombie) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    pid_t pid = env.Fork([](Env& c, long) { c.Exit(7); });
+    ASSERT_GT(pid, 0);
+    int status = -1;
+    EXPECT_EQ(env.WaitChild(&status), pid);
+    EXPECT_EQ(status, 7);
+    EXPECT_EQ(env.WaitChild(), -1);  // no more children
+    EXPECT_EQ(env.LastError(), Errno::kECHILD);
+  });
+  EXPECT_EQ(k.procs().Count(), 0u);
+}
+
+TEST(Proc, WaitBlocksUntilChildExits) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    std::atomic<bool> release{false};
+    pid_t pid = env.Fork([&](Env& c, long) {
+      while (!release.load()) {
+        c.Yield();
+      }
+      c.Exit(3);
+    });
+    std::atomic<bool>* r = &release;
+    // Flip the gate from a second child so the parent can block in wait.
+    env.Fork([r](Env& c, long) {
+      c.Yield();
+      r->store(true);
+    });
+    int status = 0;
+    pid_t got = env.WaitChild(&status);
+    pid_t got2 = env.WaitChild(&status);
+    EXPECT_TRUE(got == pid || got2 == pid);
+  });
+}
+
+TEST(Proc, OrphansReparentToKernelAndGetReaped) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    env.Fork([](Env& c, long) {
+      // Grandchild outlives its parent.
+      c.Fork([](Env& g, long) {
+        for (int i = 0; i < 50; ++i) {
+          g.Yield();
+        }
+      });
+      c.Exit(0);  // orphans the grandchild
+    });
+    env.WaitChild();
+  });
+  // WaitAll (inside RunAsProcess) must have reaped the orphan too.
+  EXPECT_EQ(k.procs().Count(), 0u);
+}
+
+TEST(Proc, GetpidGetppid) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    const pid_t me = env.Pid();
+    std::atomic<pid_t> childs_ppid{0};
+    std::atomic<pid_t> child_pid{0};
+    pid_t pid = env.Fork([&](Env& c, long) {
+      childs_ppid = c.Ppid();
+      child_pid = c.Pid();
+    });
+    env.WaitChild();
+    EXPECT_EQ(childs_ppid.load(), me);
+    EXPECT_EQ(child_pid.load(), pid);
+    EXPECT_NE(child_pid.load(), me);
+  });
+}
+
+TEST(Proc, ExecReplacesImageAndKeepsFds) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    int keep = env.Open("/keep", kOpenWrite | kOpenCreat);
+    ASSERT_GE(keep, 0);
+    vaddr_t old_map = env.Mmap(kPageSize);
+    env.Store32(old_map, 77);
+    std::atomic<bool> checked{false};
+    pid_t pid = env.Fork([&](Env& c, long) {
+      Image img;
+      img.main = [&](Env& e2, long arg) {
+        EXPECT_EQ(arg, 55);
+        // Descriptors survive exec (no close-on-exec here).
+        EXPECT_EQ(e2.WriteStr(keep, "alive"), 5);
+        // The old image is gone: the mapping no longer exists.
+        EXPECT_EQ(sg::Load<u32>(e2.proc().as, old_map).error(), Errno::kEFAULT);
+        checked = true;
+      };
+      c.Exec(img, 55);
+      ADD_FAILURE() << "exec returned";
+    });
+    ASSERT_GT(pid, 0);
+    env.WaitChild();
+    EXPECT_TRUE(checked.load());
+  });
+}
+
+TEST(Proc, ExecLoadsTextAndDataContents) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    Image img;
+    img.name = "payload";
+    const char code[] = "\x90\x90\xc3";  // "machine code"
+    img.text.assign(reinterpret_cast<const std::byte*>(code),
+                    reinterpret_cast<const std::byte*>(code) + 3);
+    std::vector<u32> init = {11, 22, 33};
+    img.data.resize(init.size() * 4);
+    std::memcpy(img.data.data(), init.data(), img.data.size());
+    std::atomic<bool> verified{false};
+    img.main = [&](Env& e2, long) {
+      // Initialized data is loaded at the data base...
+      EXPECT_EQ(e2.Load32(kDataBase), 11u);
+      EXPECT_EQ(e2.Load32(kDataBase + 4), 22u);
+      EXPECT_EQ(e2.Load32(kDataBase + 8), 33u);
+      // ...bss beyond it reads zero...
+      EXPECT_EQ(e2.Load32(kDataBase + 12), 0u);
+      // ...text is loaded read/execute: readable, not writable.
+      EXPECT_EQ(e2.Load<u8>(kTextBase), 0x90);
+      EXPECT_EQ(e2.Load<u8>(kTextBase + 2), 0xc3);
+      EXPECT_EQ(sg::Store<u8>(e2.proc().as, kTextBase, 0).error(), Errno::kEFAULT);
+      verified = true;
+    };
+    pid_t pid = env.Fork([&img](Env& c, long) { c.Exec(img); });
+    ASSERT_GT(pid, 0);
+    env.WaitChild();
+    EXPECT_TRUE(verified.load());
+  });
+}
+
+TEST(Proc, ExecClosesCloseOnExecFds) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    pid_t pid = env.Fork([](Env& c, long) {
+      int fd1 = c.Open("/coe", kOpenWrite | kOpenCreat);
+      int fd2 = c.Open("/plain", kOpenWrite | kOpenCreat);
+      ASSERT_GE(fd1, 0);
+      ASSERT_GE(fd2, 0);
+      c.proc().fds.Slot(fd1).close_on_exec = true;
+      Image img;
+      img.main = [fd1, fd2](Env& e2, long) {
+        EXPECT_LT(e2.WriteStr(fd1, "x"), 0);  // closed by exec
+        EXPECT_EQ(e2.LastError(), Errno::kEBADF);
+        EXPECT_EQ(e2.WriteStr(fd2, "y"), 1);  // survived
+      };
+      c.Exec(img);
+    });
+    ASSERT_GT(pid, 0);
+    env.WaitChild();
+  });
+}
+
+TEST(Proc, ProcTableExhaustion) {
+  BootParams bp;
+  bp.max_procs = 4;
+  Kernel k(bp);
+  RunAsProcess(k, [&](Env& env) {
+    std::atomic<int> spawned{0};
+    std::atomic<bool> hold{true};
+    for (int i = 0; i < 8; ++i) {
+      pid_t pid = env.Fork([&](Env& c, long) {
+        while (hold.load()) {
+          c.Yield();
+        }
+      });
+      if (pid > 0) {
+        ++spawned;
+      } else {
+        EXPECT_EQ(env.LastError(), Errno::kEAGAIN);
+      }
+    }
+    EXPECT_EQ(spawned.load(), 3);  // 4 slots minus ourselves
+    hold = false;
+    while (env.WaitChild() > 0) {
+    }
+  });
+}
+
+TEST(Proc, UlimitAndUmaskInheritedByFork) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    env.Umask(031);
+    env.UlimitSet(12345);
+    std::atomic<u64> child_limit{0};
+    std::atomic<mode_t> child_umask{0};
+    env.Fork([&](Env& c, long) {
+      child_limit = static_cast<u64>(c.UlimitGet());
+      child_umask = c.Umask(0);
+    });
+    env.WaitChild();
+    EXPECT_EQ(child_limit.load(), 12345u);
+    EXPECT_EQ(child_umask.load(), 031);
+    // The child's umask(0) did NOT propagate back (no share group).
+    EXPECT_EQ(env.Umask(022), 031);
+  });
+}
+
+TEST(Proc, SetuidPermissionModel) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    EXPECT_EQ(env.Setuid(42), 0);   // root may switch
+    EXPECT_EQ(env.Getuid(), 42);
+    EXPECT_EQ(env.Setuid(42), 0);   // no-op allowed
+    EXPECT_LT(env.Setuid(43), 0);   // non-root cannot change
+    EXPECT_EQ(env.LastError(), Errno::kEPERM);
+  });
+}
+
+}  // namespace
+}  // namespace sg

@@ -1,0 +1,157 @@
+// Scheduler: the simulated-CPU gate really bounds parallelism, priorities
+// order slot grants, blocking releases slots, and PR_MAXPPROCS reports the
+// machine width.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "api/kernel.h"
+#include "api/user_env.h"
+#include "proc/scheduler.h"
+
+namespace sg {
+namespace {
+
+TEST(Scheduler, BoundsConcurrency) {
+  Scheduler sched(2);
+  std::atomic<int> inside{0};
+  std::atomic<int> max_inside{0};
+  std::atomic<bool> violated{false};
+  std::vector<std::thread> ts;
+  for (int i = 0; i < 6; ++i) {
+    ts.emplace_back([&] {
+      for (int n = 0; n < 500; ++n) {
+        sched.AcquireCpu(0);
+        const int now = inside.fetch_add(1) + 1;
+        if (now > 2) {
+          violated = true;
+        }
+        int prev = max_inside.load();
+        while (now > prev && !max_inside.compare_exchange_weak(prev, now)) {
+        }
+        // Dwell so holders overlap; the bound (never >2) is the real check.
+        for (int d = 0; d < 500; ++d) {
+          CpuRelax();
+        }
+        inside.fetch_sub(1);
+        sched.ReleaseCpu();
+      }
+    });
+  }
+  for (auto& t : ts) {
+    t.join();
+  }
+  EXPECT_FALSE(violated.load());
+  EXPECT_GE(max_inside.load(), 1);
+  EXPECT_LE(max_inside.load(), 2);
+}
+
+TEST(Scheduler, HigherPriorityWinsTheSlot) {
+  Scheduler sched(1);
+  sched.AcquireCpu(0);  // hold the only CPU
+  std::atomic<int> order{0};
+  std::atomic<int> low_rank{0};
+  std::atomic<int> high_rank{0};
+  std::thread low([&] {
+    sched.AcquireCpu(1);
+    low_rank = order.fetch_add(1) + 1;
+    sched.ReleaseCpu();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));  // low queues first
+  std::thread high([&] {
+    sched.AcquireCpu(10);
+    high_rank = order.fetch_add(1) + 1;
+    sched.ReleaseCpu();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  sched.ReleaseCpu();
+  low.join();
+  high.join();
+  EXPECT_LT(high_rank.load(), low_rank.load());  // high went first despite queuing later
+}
+
+TEST(Scheduler, YieldIsNoopWithoutWaiters) {
+  Scheduler sched(2);
+  sched.AcquireCpu(0);
+  const u64 switches = sched.ContextSwitches();
+  sched.Yield(0);
+  EXPECT_EQ(sched.ContextSwitches(), switches);
+  sched.ReleaseCpu();
+}
+
+TEST(Scheduler, SingleCpuKernelMakesProgress) {
+  // The acid test of the WillBlock/DidWake contract: on ONE simulated CPU,
+  // sleeping syscalls must release the slot or everything deadlocks.
+  BootParams bp;
+  bp.ncpus = 1;
+  Kernel k(bp);
+  std::atomic<int> sum{0};
+  auto pid = k.Launch([&](Env& env, long) {
+    int rd = -1, wr = -1;
+    ASSERT_EQ(env.Pipe(&rd, &wr), 0);
+    for (int i = 0; i < 3; ++i) {
+      env.Fork(
+          [&, rd, wr](Env& c, long) {
+            c.Close(wr);  // or EOF never arrives: we would hold a write end
+            char b[4];
+            while (c.ReadBuf(rd, std::as_writable_bytes(std::span<char>(b, 4))) > 0) {
+              sum.fetch_add(1);
+            }
+          });
+    }
+    for (int i = 0; i < 12; ++i) {
+      ASSERT_EQ(env.WriteStr(wr, "mesg"), 4);
+    }
+    env.Close(wr);
+    for (int i = 0; i < 3; ++i) {
+      env.WaitChild();
+    }
+  });
+  ASSERT_TRUE(pid.ok());
+  k.WaitAll();
+  EXPECT_EQ(sum.load(), 12);
+}
+
+TEST(Scheduler, PrctlReportsParallelism) {
+  BootParams bp;
+  bp.ncpus = 3;
+  Kernel k(bp);
+  std::atomic<i64> reported{0};
+  (void)k.Launch([&](Env& env, long) { reported = env.Prctl(PR_MAXPPROCS); });
+  k.WaitAll();
+  EXPECT_EQ(reported.load(), 3);
+}
+
+TEST(Scheduler, ShareGroupSpinsOnFewerCpusStillFinish) {
+  // Busy-wait sync with more members than CPUs: the yield fallback in the
+  // user spinlock must let holders run.
+  BootParams bp;
+  bp.ncpus = 2;
+  Kernel k(bp);
+  std::atomic<u32> final_val{0};
+  (void)k.Launch([&](Env& env, long) {
+    vaddr_t lock = env.Mmap(kPageSize);
+    vaddr_t ctr = lock + 64;
+    constexpr int kMembers = 6;
+    for (int i = 0; i < kMembers; ++i) {
+      env.Sproc(
+          [lock, ctr](Env& c, long) {
+            for (int n = 0; n < 100; ++n) {
+              c.SpinLock(lock);
+              c.Store32(ctr, c.Load32(ctr) + 1);
+              c.SpinUnlock(lock);
+            }
+          },
+          PR_SADDR);
+    }
+    for (int i = 0; i < kMembers; ++i) {
+      env.WaitChild();
+    }
+    final_val = env.Load32(ctr);
+  });
+  k.WaitAll();
+  EXPECT_EQ(final_val.load(), 600u);
+}
+
+}  // namespace
+}  // namespace sg

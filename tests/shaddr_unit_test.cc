@@ -1,0 +1,122 @@
+// Direct ShaddrBlock unit tests (no kernel): the member chain at the
+// structure level, master-copy seeding, and the TryAddMember drain guard
+// that PR_JOINGROUP relies on.
+#include <gtest/gtest.h>
+
+#include "core/shaddr.h"
+#include "core/share_mask.h"
+#include "fs/vfs.h"
+#include "hw/cpu_set.h"
+#include "proc/proc.h"
+#include "proc/scheduler.h"
+
+namespace sg {
+namespace {
+
+struct Rig {
+  PhysMem mem{64 * kPageSize};
+  CpuSet cpus{2};
+  Scheduler sched{2};
+  Vfs vfs{64, 64};
+
+  std::unique_ptr<Proc> MakeProc(pid_t pid) {
+    auto p = std::make_unique<Proc>(pid, mem, sched, 64);
+    p->cwd = vfs.inodes().Iget(vfs.root());
+    p->rootdir = vfs.inodes().Iget(vfs.root());
+    return p;
+  }
+  void DestroyProc(Proc& p) {
+    vfs.inodes().Iput(p.cwd);
+    vfs.inodes().Iput(p.rootdir);
+    p.as.DetachAllPrivate();
+  }
+};
+
+TEST(ShaddrUnit, CreatorSeedsMasterCopies) {
+  Rig rig;
+  auto a = rig.MakeProc(1);
+  a->umask = 031;
+  a->ulimit = 4242;
+  a->uid = 7;
+  a->gid = 8;
+  ShaddrBlock block(*a, rig.cpus, rig.vfs);
+  EXPECT_EQ(block.refcnt(), 1u);
+  EXPECT_EQ(a->p_shmask, PR_SALL);  // "a mask indicating that all resources are shared"
+  EXPECT_EQ(block.cmask(), 031);
+  EXPECT_EQ(block.limit(), 4242u);
+  EXPECT_EQ(block.uid(), 7);
+  EXPECT_EQ(block.gid(), 8);
+  EXPECT_EQ(block.cdir(), a->cwd);
+  // The block holds its own inode references (+2 on the root: cdir+rdir).
+  EXPECT_GE(rig.vfs.inodes().RefCount(rig.vfs.root()), 4u);
+  EXPECT_TRUE(block.RemoveMember(*a));
+  rig.DestroyProc(*a);
+}
+
+TEST(ShaddrUnit, MemberChainLinksAndUnlinksInAnyOrder) {
+  Rig rig;
+  auto a = rig.MakeProc(1);
+  auto b = rig.MakeProc(2);
+  auto c = rig.MakeProc(3);
+  ShaddrBlock block(*a, rig.cpus, rig.vfs);
+  block.AddMember(*b, PR_SFDS);
+  block.AddMember(*c, PR_SUMASK);
+  EXPECT_EQ(block.refcnt(), 3u);
+  int seen = 0;
+  block.ForEachMember([&](Proc&) { ++seen; });
+  EXPECT_EQ(seen, 3);
+  // Remove the MIDDLE of the chain first, then the rest.
+  EXPECT_FALSE(block.RemoveMember(*b));
+  EXPECT_EQ(block.refcnt(), 2u);
+  EXPECT_FALSE(block.RemoveMember(*a));
+  EXPECT_TRUE(block.RemoveMember(*c));
+  rig.DestroyProc(*a);
+  rig.DestroyProc(*b);
+  rig.DestroyProc(*c);
+}
+
+TEST(ShaddrUnit, TryAddMemberRefusesDrainedBlock) {
+  Rig rig;
+  auto a = rig.MakeProc(1);
+  auto b = rig.MakeProc(2);
+  ShaddrBlock block(*a, rig.cpus, rig.vfs);
+  EXPECT_TRUE(block.RemoveMember(*a));  // refcnt 0: the block is draining
+  // A dynamic joiner racing the last exit must be turned away.
+  EXPECT_FALSE(block.TryAddMember(*b, PR_SALL & ~PR_SADDR));
+  EXPECT_EQ(b->shaddr, nullptr);
+  rig.DestroyProc(*a);
+  rig.DestroyProc(*b);
+}
+
+TEST(ShaddrUnit, FlagOthersRespectsPerResourceMasks) {
+  Rig rig;
+  auto a = rig.MakeProc(1);
+  auto b = rig.MakeProc(2);  // shares umask only
+  auto c = rig.MakeProc(3);  // shares ulimit only
+  ShaddrBlock block(*a, rig.cpus, rig.vfs);
+  block.AddMember(*b, PR_SUMASK);
+  block.AddMember(*c, PR_SULIMIT);
+  a->umask = 011;
+  block.UpdateUmask(*a, 011);
+  EXPECT_EQ(b->p_flag.load() & kPfSyncUmask, kPfSyncUmask);  // flagged
+  EXPECT_EQ(c->p_flag.load() & kPfSyncUmask, 0u);            // not sharing it
+  block.UpdateUlimit(*a, 999);
+  EXPECT_EQ(c->p_flag.load() & kPfSyncUlimit, kPfSyncUlimit);
+  EXPECT_EQ(b->p_flag.load() & kPfSyncUlimit, 0u);
+  // Each member's entry-sync pulls only its own resource.
+  block.SyncOnKernelEntry(*b);
+  EXPECT_EQ(b->umask, 011);
+  EXPECT_NE(b->ulimit, 999u);
+  block.SyncOnKernelEntry(*c);
+  EXPECT_EQ(c->ulimit, 999u);
+  EXPECT_NE(c->umask, 011);
+  EXPECT_FALSE(block.RemoveMember(*b));
+  EXPECT_FALSE(block.RemoveMember(*c));
+  EXPECT_TRUE(block.RemoveMember(*a));
+  rig.DestroyProc(*a);
+  rig.DestroyProc(*b);
+  rig.DestroyProc(*c);
+}
+
+}  // namespace
+}  // namespace sg

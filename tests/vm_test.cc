@@ -1,0 +1,270 @@
+// Unit tests for vm/: regions (demand zero, COW, grow/shrink), the VA
+// allocator, address-space scan order, the fault path, and accesses.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "vm/access.h"
+#include "vm/address_space.h"
+#include "vm/layout.h"
+#include "vm/region.h"
+#include "vm/shared_space.h"
+#include "vm/va_allocator.h"
+#include "vm/vm_ops.h"
+
+namespace sg {
+namespace {
+
+TEST(Region, DemandZeroResolve) {
+  PhysMem mem(8 * kPageSize);
+  auto r = Region::Alloc(mem, RegionType::kData, 4);
+  EXPECT_EQ(r->pages(), 4u);
+  EXPECT_EQ(r->ResidentPages(), 0u);
+  auto res = r->Resolve(2, /*want_write=*/false);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res.value().writable);  // plain page: full access
+  EXPECT_EQ(r->ResidentPages(), 1u);
+  EXPECT_EQ(r->Resolve(9, false).error(), Errno::kEFAULT);
+}
+
+TEST(Region, CowDupSharesThenSplits) {
+  PhysMem mem(8 * kPageSize);
+  auto a = Region::Alloc(mem, RegionType::kData, 2);
+  const std::byte payload[] = {std::byte{1}, std::byte{2}, std::byte{3}};
+  ASSERT_TRUE(a->FillFrom(0, payload).ok());
+  auto b = a->DupCow();
+  // Shared frame: one resident frame serves both; reads agree.
+  std::byte out[3];
+  ASSERT_TRUE(b->ReadBack(0, out).ok());
+  EXPECT_EQ(0, std::memcmp(out, payload, 3));
+  const u64 free_before = mem.FreeFrames();
+  // Read resolve keeps sharing (maps read-only).
+  auto read_res = b->Resolve(0, false);
+  ASSERT_TRUE(read_res.ok());
+  EXPECT_FALSE(read_res.value().writable);
+  EXPECT_EQ(mem.FreeFrames(), free_before);
+  // Write resolve breaks COW: new frame, contents preserved.
+  auto write_res = b->Resolve(0, true);
+  ASSERT_TRUE(write_res.ok());
+  EXPECT_TRUE(write_res.value().writable);
+  EXPECT_TRUE(write_res.value().frame_changed);
+  EXPECT_EQ(mem.FreeFrames(), free_before - 1);
+  ASSERT_TRUE(b->ReadBack(0, out).ok());
+  EXPECT_EQ(0, std::memcmp(out, payload, 3));
+  // The source side regains write access without copying (sole owner now).
+  auto src_res = a->Resolve(0, true);
+  ASSERT_TRUE(src_res.ok());
+  EXPECT_FALSE(src_res.value().frame_changed);
+}
+
+TEST(Region, GrowAndShrinkFreeFrames) {
+  PhysMem mem(8 * kPageSize);
+  auto r = Region::Alloc(mem, RegionType::kData, 1);
+  ASSERT_TRUE(r->GrowTo(4).ok());
+  EXPECT_EQ(r->pages(), 4u);
+  for (u64 i = 0; i < 4; ++i) {
+    ASSERT_TRUE(r->Resolve(i, true).ok());
+  }
+  const u64 free_before = mem.FreeFrames();
+  ASSERT_TRUE(r->ShrinkTo(1).ok());
+  EXPECT_EQ(mem.FreeFrames(), free_before + 3);
+  EXPECT_EQ(r->GrowTo(0).error(), Errno::kEINVAL);
+  EXPECT_EQ(r->ShrinkTo(5).error(), Errno::kEINVAL);
+}
+
+TEST(Region, FillAndReadBackAcrossPages) {
+  PhysMem mem(8 * kPageSize);
+  auto r = Region::Alloc(mem, RegionType::kData, 3);
+  std::vector<std::byte> data(2 * kPageSize + 100);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>(i * 31);
+  }
+  ASSERT_TRUE(r->FillFrom(kPageSize / 2, data).ok());
+  std::vector<std::byte> out(data.size());
+  ASSERT_TRUE(r->ReadBack(kPageSize / 2, out).ok());
+  EXPECT_EQ(data, out);
+  EXPECT_FALSE(r->FillFrom(2 * kPageSize, data).ok());  // overruns the region
+}
+
+TEST(VaAllocator, UpDownAndReserve) {
+  VaAllocator va(kArenaBase, kArenaEnd, kStackTop);
+  auto a = va.AllocUp(2);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value(), kArenaBase);
+  auto b = va.AllocUp(1);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value(), kArenaBase + 2 * kPageSize);
+  va.Free(a.value());
+  auto c = va.AllocUp(1);  // first fit reuses the hole
+  EXPECT_EQ(c.value(), kArenaBase);
+  auto d = va.AllocUp(2);  // does not fit in the 1-page remainder of the hole
+  EXPECT_EQ(d.value(), kArenaBase + 3 * kPageSize);
+
+  auto s1 = va.AllocDown(4);
+  ASSERT_TRUE(s1.ok());
+  EXPECT_EQ(s1.value(), kStackTop - 4 * kPageSize);
+  auto s2 = va.AllocDown(4);
+  EXPECT_EQ(s2.value(), kStackTop - 8 * kPageSize);
+  va.Free(s1.value());
+  auto s3 = va.AllocDown(2);  // reuses the top gap
+  EXPECT_EQ(s3.value(), kStackTop - 2 * kPageSize);
+
+  EXPECT_TRUE(va.Reserve(kArenaBase + 16 * kPageSize, 4).ok());
+  EXPECT_FALSE(va.Reserve(kArenaBase + 17 * kPageSize, 1).ok());  // overlap
+  EXPECT_FALSE(va.Reserve(kArenaBase + 1, 1).ok());               // unaligned
+}
+
+TEST(VaAllocator, ExhaustionReturnsEnomem) {
+  VaAllocator va(kArenaBase, kArenaBase + 4 * kPageSize, kArenaBase + 8 * kPageSize);
+  EXPECT_TRUE(va.AllocUp(4).ok());
+  EXPECT_EQ(va.AllocUp(1).error(), Errno::kENOMEM);
+  EXPECT_TRUE(va.AllocDown(4).ok());
+  EXPECT_EQ(va.AllocDown(1).error(), Errno::kENOMEM);
+}
+
+// Builds a bare AddressSpace with a data pregion for fault-path tests.
+struct Fixture {
+  PhysMem mem{64 * kPageSize};
+  CpuSet cpus{2};
+  AddressSpace as{mem};
+
+  Fixture() {
+    auto data = Region::Alloc(mem, RegionType::kData, 4);
+    as.AttachPrivate(std::make_unique<Pregion>(std::move(data), kDataBase, kProtRw));
+  }
+};
+
+TEST(Fault, LoadStoreRoundTrip) {
+  Fixture f;
+  ASSERT_TRUE(Store<u32>(f.as, kDataBase + 8, 0xdeadbeef).ok());
+  auto v = Load<u32>(f.as, kDataBase + 8);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 0xdeadbeefu);
+  EXPECT_GE(f.as.faults.load(), 1u);
+}
+
+TEST(Fault, UnmappedAddressFaults) {
+  Fixture f;
+  EXPECT_EQ(Load<u32>(f.as, 0x50).error(), Errno::kEFAULT);
+  EXPECT_EQ(Store<u32>(f.as, kDataBase + 4 * kPageSize, 1).error(), Errno::kEFAULT);
+}
+
+TEST(Fault, ProtectionEnforced) {
+  Fixture f;
+  auto ro = Region::Alloc(f.mem, RegionType::kText, 1);
+  f.as.AttachPrivate(std::make_unique<Pregion>(std::move(ro), kTextBase, kProtRx));
+  EXPECT_TRUE(Load<u32>(f.as, kTextBase).ok());
+  EXPECT_EQ(Store<u32>(f.as, kTextBase, 1).error(), Errno::kEFAULT);
+}
+
+TEST(Fault, MisalignedScalarRejected) {
+  Fixture f;
+  EXPECT_EQ(Load<u32>(f.as, kDataBase + 2).error(), Errno::kEFAULT);
+  EXPECT_EQ(AtomicLoad32(f.as, kDataBase + 2).error(), Errno::kEFAULT);
+}
+
+TEST(Fault, CopyInOutAcrossPages) {
+  Fixture f;
+  std::vector<std::byte> in(3 * kPageSize / 2);
+  for (size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<std::byte>(i);
+  }
+  ASSERT_TRUE(CopyOut(f.as, kDataBase + 100, in.data(), in.size()).ok());
+  std::vector<std::byte> out(in.size());
+  ASSERT_TRUE(CopyIn(f.as, out.data(), kDataBase + 100, out.size()).ok());
+  EXPECT_EQ(in, out);
+  EXPECT_TRUE(FillUser(f.as, kDataBase, 0x5a, 64).ok());
+  auto b = Load<u8>(f.as, kDataBase + 63);
+  EXPECT_EQ(b.value(), 0x5au);
+}
+
+TEST(Fault, PrivateShadowsShared) {
+  // Private pregions are scanned FIRST (§6.2) — a private page at the same
+  // address wins over the shared list's mapping.
+  PhysMem mem(16 * kPageSize);
+  CpuSet cpus(1);
+  SharedSpace ss(cpus);
+  AddressSpace as(mem);
+  as.set_shared(&ss);
+  {
+    UpdateGuard g(ss.lock());
+    ss.AddMemberTlb(&as.tlb());
+    auto shared = Region::Alloc(mem, RegionType::kData, 1);
+    const std::byte v[] = {std::byte{0xaa}};
+    ASSERT_TRUE(shared->FillFrom(0, v).ok());
+    ss.pregions().push_back(std::make_unique<Pregion>(std::move(shared), kDataBase, kProtRw));
+  }
+  EXPECT_EQ(Load<u8>(as, kDataBase).value(), 0xaau);
+  // Attach a private region shadowing the same address.
+  as.tlb().FlushAll();
+  auto priv = Region::Alloc(mem, RegionType::kPrda, 1);
+  const std::byte v2[] = {std::byte{0xbb}};
+  ASSERT_TRUE(priv->FillFrom(0, v2).ok());
+  as.AttachPrivate(std::make_unique<Pregion>(std::move(priv), kDataBase, kProtRw));
+  EXPECT_EQ(Load<u8>(as, kDataBase).value(), 0xbbu);
+}
+
+TEST(VmOps, SbrkGrowShrinkRoundTrip) {
+  Fixture f;
+  auto brk0 = CurrentBrk(f.as);
+  ASSERT_TRUE(brk0.ok());
+  auto old = Sbrk(f.as, static_cast<i64>(2 * kPageSize));
+  ASSERT_TRUE(old.ok());
+  EXPECT_EQ(old.value(), brk0.value());
+  EXPECT_EQ(CurrentBrk(f.as).value(), brk0.value() + 2 * kPageSize);
+  ASSERT_TRUE(Store<u32>(f.as, brk0.value(), 7).ok());
+  auto back = Sbrk(f.as, -static_cast<i64>(2 * kPageSize));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(CurrentBrk(f.as).value(), brk0.value());
+  // The shrunk range faults again.
+  EXPECT_EQ(Load<u32>(f.as, brk0.value()).error(), Errno::kEFAULT);
+}
+
+TEST(VmOps, SbrkRespectsMaxDataPages) {
+  Fixture f;
+  EXPECT_EQ(Sbrk(f.as, static_cast<i64>(kPageSize), /*max_data_pages=*/4).error(),
+            Errno::kENOMEM);
+  EXPECT_TRUE(Sbrk(f.as, static_cast<i64>(kPageSize), 5).ok());
+}
+
+TEST(VmOps, MapUnmapPrivate) {
+  Fixture f;
+  auto a = MapAnon(f.as, 3 * kPageSize);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(Store<u32>(f.as, a.value() + kPageSize, 9).ok());
+  ASSERT_TRUE(Unmap(f.as, a.value()).ok());
+  EXPECT_EQ(Load<u32>(f.as, a.value()).error(), Errno::kEFAULT);
+  EXPECT_EQ(Unmap(f.as, a.value()).error(), Errno::kEINVAL);
+  EXPECT_EQ(Unmap(f.as, kDataBase).error(), Errno::kEINVAL);  // not an arena mapping
+}
+
+TEST(VmOps, ForkDuplicationSharesTextCowsData) {
+  Fixture f;
+  auto text = Region::Alloc(f.mem, RegionType::kText, 1);
+  f.as.AttachPrivate(std::make_unique<Pregion>(text, kTextBase, kProtRx));
+  ASSERT_TRUE(Store<u32>(f.as, kDataBase, 41).ok());
+
+  AddressSpace child(f.mem);
+  ASSERT_TRUE(DuplicateForFork(f.as, child).ok());
+  // Text: same region object (shared, it is immutable).
+  EXPECT_EQ(child.FindPrivate(kTextBase)->region.get(), text.get());
+  // Data: different region object (COW twin).
+  EXPECT_NE(child.FindPrivate(kDataBase)->region.get(),
+            f.as.FindPrivate(kDataBase)->region.get());
+  EXPECT_EQ(Load<u32>(child, kDataBase).value(), 41u);
+  ASSERT_TRUE(Store<u32>(child, kDataBase, 42).ok());
+  EXPECT_EQ(Load<u32>(f.as, kDataBase).value(), 41u);
+}
+
+TEST(VmOps, OutOfFramesSurfacesEnomem) {
+  PhysMem tiny(2 * kPageSize);
+  AddressSpace as(tiny);
+  auto data = Region::Alloc(tiny, RegionType::kData, 8);
+  as.AttachPrivate(std::make_unique<Pregion>(std::move(data), kDataBase, kProtRw));
+  ASSERT_TRUE(Store<u32>(as, kDataBase, 1).ok());
+  ASSERT_TRUE(Store<u32>(as, kDataBase + kPageSize, 2).ok());
+  EXPECT_EQ(Store<u32>(as, kDataBase + 2 * kPageSize, 3).error(), Errno::kENOMEM);
+}
+
+}  // namespace
+}  // namespace sg
