@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attr_sync.dir/bench_attr_sync.cc.o"
+  "CMakeFiles/bench_attr_sync.dir/bench_attr_sync.cc.o.d"
+  "bench_attr_sync"
+  "bench_attr_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attr_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_create.dir/bench_create.cc.o"
+  "CMakeFiles/bench_create.dir/bench_create.cc.o.d"
+  "bench_create"
+  "bench_create.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_create.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gang.dir/bench_gang.cc.o"
+  "CMakeFiles/bench_gang.dir/bench_gang.cc.o.d"
+  "bench_gang"
+  "bench_gang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

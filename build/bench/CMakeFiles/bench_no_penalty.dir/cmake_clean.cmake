@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_no_penalty.dir/bench_no_penalty.cc.o"
+  "CMakeFiles/bench_no_penalty.dir/bench_no_penalty.cc.o.d"
+  "bench_no_penalty"
+  "bench_no_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_no_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

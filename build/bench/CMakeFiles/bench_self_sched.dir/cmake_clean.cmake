@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_self_sched.dir/bench_self_sched.cc.o"
+  "CMakeFiles/bench_self_sched.dir/bench_self_sched.cc.o.d"
+  "bench_self_sched"
+  "bench_self_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_self_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

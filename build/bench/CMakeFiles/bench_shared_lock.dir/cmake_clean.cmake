@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shared_lock.dir/bench_shared_lock.cc.o"
+  "CMakeFiles/bench_shared_lock.dir/bench_shared_lock.cc.o.d"
+  "bench_shared_lock"
+  "bench_shared_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shared_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

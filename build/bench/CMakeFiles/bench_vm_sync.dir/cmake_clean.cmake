@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vm_sync.dir/bench_vm_sync.cc.o"
+  "CMakeFiles/bench_vm_sync.dir/bench_vm_sync.cc.o.d"
+  "bench_vm_sync"
+  "bench_vm_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vm_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

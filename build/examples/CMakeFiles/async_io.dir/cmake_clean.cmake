@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_io.dir/async_io.cpp.o"
+  "CMakeFiles/async_io.dir/async_io.cpp.o.d"
+  "async_io"
+  "async_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_server.dir/fd_server.cpp.o"
+  "CMakeFiles/fd_server.dir/fd_server.cpp.o.d"
+  "fd_server"
+  "fd_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

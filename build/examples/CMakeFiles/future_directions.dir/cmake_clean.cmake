@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_directions.dir/future_directions.cpp.o"
+  "CMakeFiles/future_directions.dir/future_directions.cpp.o.d"
+  "future_directions"
+  "future_directions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_directions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

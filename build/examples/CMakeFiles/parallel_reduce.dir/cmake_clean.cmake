@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_reduce.dir/parallel_reduce.cpp.o"
+  "CMakeFiles/parallel_reduce.dir/parallel_reduce.cpp.o.d"
+  "parallel_reduce"
+  "parallel_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/share_everything.dir/share_everything.cpp.o"
+  "CMakeFiles/share_everything.dir/share_everything.cpp.o.d"
+  "share_everything"
+  "share_everything.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/share_everything.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

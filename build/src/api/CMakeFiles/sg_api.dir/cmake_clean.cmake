@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_api.dir/kernel.cc.o"
+  "CMakeFiles/sg_api.dir/kernel.cc.o.d"
+  "CMakeFiles/sg_api.dir/kernel_fs.cc.o"
+  "CMakeFiles/sg_api.dir/kernel_fs.cc.o.d"
+  "CMakeFiles/sg_api.dir/kernel_proc.cc.o"
+  "CMakeFiles/sg_api.dir/kernel_proc.cc.o.d"
+  "CMakeFiles/sg_api.dir/kernel_vm.cc.o"
+  "CMakeFiles/sg_api.dir/kernel_vm.cc.o.d"
+  "CMakeFiles/sg_api.dir/user_env.cc.o"
+  "CMakeFiles/sg_api.dir/user_env.cc.o.d"
+  "libsg_api.a"
+  "libsg_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

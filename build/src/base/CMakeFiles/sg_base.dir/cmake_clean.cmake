@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_base.dir/errno.cc.o"
+  "CMakeFiles/sg_base.dir/errno.cc.o.d"
+  "CMakeFiles/sg_base.dir/log.cc.o"
+  "CMakeFiles/sg_base.dir/log.cc.o.d"
+  "libsg_base.a"
+  "libsg_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+src/base/CMakeFiles/sg_base.dir/errno.cc.o: /root/repo/src/base/errno.cc \
+ /usr/include/stdc-predef.h /root/repo/src/base/errno.h

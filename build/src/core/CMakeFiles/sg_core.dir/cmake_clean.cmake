@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_core.dir/shaddr.cc.o"
+  "CMakeFiles/sg_core.dir/shaddr.cc.o.d"
+  "libsg_core.a"
+  "libsg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

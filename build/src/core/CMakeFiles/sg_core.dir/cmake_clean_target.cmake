@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsg_core.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/file.cc" "src/fs/CMakeFiles/sg_fs.dir/file.cc.o" "gcc" "src/fs/CMakeFiles/sg_fs.dir/file.cc.o.d"
+  "/root/repo/src/fs/inode.cc" "src/fs/CMakeFiles/sg_fs.dir/inode.cc.o" "gcc" "src/fs/CMakeFiles/sg_fs.dir/inode.cc.o.d"
+  "/root/repo/src/fs/pipe.cc" "src/fs/CMakeFiles/sg_fs.dir/pipe.cc.o" "gcc" "src/fs/CMakeFiles/sg_fs.dir/pipe.cc.o.d"
+  "/root/repo/src/fs/vfs.cc" "src/fs/CMakeFiles/sg_fs.dir/vfs.cc.o" "gcc" "src/fs/CMakeFiles/sg_fs.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/sg_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/sg_sync.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

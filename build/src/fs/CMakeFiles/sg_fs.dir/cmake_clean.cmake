@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_fs.dir/file.cc.o"
+  "CMakeFiles/sg_fs.dir/file.cc.o.d"
+  "CMakeFiles/sg_fs.dir/inode.cc.o"
+  "CMakeFiles/sg_fs.dir/inode.cc.o.d"
+  "CMakeFiles/sg_fs.dir/pipe.cc.o"
+  "CMakeFiles/sg_fs.dir/pipe.cc.o.d"
+  "CMakeFiles/sg_fs.dir/vfs.cc.o"
+  "CMakeFiles/sg_fs.dir/vfs.cc.o.d"
+  "libsg_fs.a"
+  "libsg_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

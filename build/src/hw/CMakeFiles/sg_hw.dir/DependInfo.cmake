@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/phys_mem.cc" "src/hw/CMakeFiles/sg_hw.dir/phys_mem.cc.o" "gcc" "src/hw/CMakeFiles/sg_hw.dir/phys_mem.cc.o.d"
+  "/root/repo/src/hw/swap.cc" "src/hw/CMakeFiles/sg_hw.dir/swap.cc.o" "gcc" "src/hw/CMakeFiles/sg_hw.dir/swap.cc.o.d"
+  "/root/repo/src/hw/tlb.cc" "src/hw/CMakeFiles/sg_hw.dir/tlb.cc.o" "gcc" "src/hw/CMakeFiles/sg_hw.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/sg_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/sg_sync.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_hw.dir/phys_mem.cc.o"
+  "CMakeFiles/sg_hw.dir/phys_mem.cc.o.d"
+  "CMakeFiles/sg_hw.dir/swap.cc.o"
+  "CMakeFiles/sg_hw.dir/swap.cc.o.d"
+  "CMakeFiles/sg_hw.dir/tlb.cc.o"
+  "CMakeFiles/sg_hw.dir/tlb.cc.o.d"
+  "libsg_hw.a"
+  "libsg_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_ipc.dir/sysv.cc.o"
+  "CMakeFiles/sg_ipc.dir/sysv.cc.o.d"
+  "libsg_ipc.a"
+  "libsg_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

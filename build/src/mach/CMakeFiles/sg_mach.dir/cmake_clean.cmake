@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_mach.dir/task.cc.o"
+  "CMakeFiles/sg_mach.dir/task.cc.o.d"
+  "libsg_mach.a"
+  "libsg_mach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_mach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

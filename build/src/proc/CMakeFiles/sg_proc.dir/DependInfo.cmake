@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proc/deliver.cc" "src/proc/CMakeFiles/sg_proc.dir/deliver.cc.o" "gcc" "src/proc/CMakeFiles/sg_proc.dir/deliver.cc.o.d"
+  "/root/repo/src/proc/scheduler.cc" "src/proc/CMakeFiles/sg_proc.dir/scheduler.cc.o" "gcc" "src/proc/CMakeFiles/sg_proc.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/sg_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/sg_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/sg_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sg_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/sg_fs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_proc.dir/deliver.cc.o"
+  "CMakeFiles/sg_proc.dir/deliver.cc.o.d"
+  "CMakeFiles/sg_proc.dir/scheduler.cc.o"
+  "CMakeFiles/sg_proc.dir/scheduler.cc.o.d"
+  "libsg_proc.a"
+  "libsg_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/barrier.cc" "src/sync/CMakeFiles/sg_sync.dir/barrier.cc.o" "gcc" "src/sync/CMakeFiles/sg_sync.dir/barrier.cc.o.d"
+  "/root/repo/src/sync/execution_context.cc" "src/sync/CMakeFiles/sg_sync.dir/execution_context.cc.o" "gcc" "src/sync/CMakeFiles/sg_sync.dir/execution_context.cc.o.d"
+  "/root/repo/src/sync/semaphore.cc" "src/sync/CMakeFiles/sg_sync.dir/semaphore.cc.o" "gcc" "src/sync/CMakeFiles/sg_sync.dir/semaphore.cc.o.d"
+  "/root/repo/src/sync/shared_read_lock.cc" "src/sync/CMakeFiles/sg_sync.dir/shared_read_lock.cc.o" "gcc" "src/sync/CMakeFiles/sg_sync.dir/shared_read_lock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/sg_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

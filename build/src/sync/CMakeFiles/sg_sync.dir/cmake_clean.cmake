@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_sync.dir/barrier.cc.o"
+  "CMakeFiles/sg_sync.dir/barrier.cc.o.d"
+  "CMakeFiles/sg_sync.dir/execution_context.cc.o"
+  "CMakeFiles/sg_sync.dir/execution_context.cc.o.d"
+  "CMakeFiles/sg_sync.dir/semaphore.cc.o"
+  "CMakeFiles/sg_sync.dir/semaphore.cc.o.d"
+  "CMakeFiles/sg_sync.dir/shared_read_lock.cc.o"
+  "CMakeFiles/sg_sync.dir/shared_read_lock.cc.o.d"
+  "libsg_sync.a"
+  "libsg_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/access.cc" "src/vm/CMakeFiles/sg_vm.dir/access.cc.o" "gcc" "src/vm/CMakeFiles/sg_vm.dir/access.cc.o.d"
+  "/root/repo/src/vm/address_space.cc" "src/vm/CMakeFiles/sg_vm.dir/address_space.cc.o" "gcc" "src/vm/CMakeFiles/sg_vm.dir/address_space.cc.o.d"
+  "/root/repo/src/vm/pager.cc" "src/vm/CMakeFiles/sg_vm.dir/pager.cc.o" "gcc" "src/vm/CMakeFiles/sg_vm.dir/pager.cc.o.d"
+  "/root/repo/src/vm/region.cc" "src/vm/CMakeFiles/sg_vm.dir/region.cc.o" "gcc" "src/vm/CMakeFiles/sg_vm.dir/region.cc.o.d"
+  "/root/repo/src/vm/va_allocator.cc" "src/vm/CMakeFiles/sg_vm.dir/va_allocator.cc.o" "gcc" "src/vm/CMakeFiles/sg_vm.dir/va_allocator.cc.o.d"
+  "/root/repo/src/vm/vm_ops.cc" "src/vm/CMakeFiles/sg_vm.dir/vm_ops.cc.o" "gcc" "src/vm/CMakeFiles/sg_vm.dir/vm_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/sg_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/sg_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/sg_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

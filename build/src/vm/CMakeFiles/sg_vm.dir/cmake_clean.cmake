@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_vm.dir/access.cc.o"
+  "CMakeFiles/sg_vm.dir/access.cc.o.d"
+  "CMakeFiles/sg_vm.dir/address_space.cc.o"
+  "CMakeFiles/sg_vm.dir/address_space.cc.o.d"
+  "CMakeFiles/sg_vm.dir/pager.cc.o"
+  "CMakeFiles/sg_vm.dir/pager.cc.o.d"
+  "CMakeFiles/sg_vm.dir/region.cc.o"
+  "CMakeFiles/sg_vm.dir/region.cc.o.d"
+  "CMakeFiles/sg_vm.dir/va_allocator.cc.o"
+  "CMakeFiles/sg_vm.dir/va_allocator.cc.o.d"
+  "CMakeFiles/sg_vm.dir/vm_ops.cc.o"
+  "CMakeFiles/sg_vm.dir/vm_ops.cc.o.d"
+  "libsg_vm.a"
+  "libsg_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

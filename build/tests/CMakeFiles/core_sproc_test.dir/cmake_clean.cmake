@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sproc_test.dir/core_sproc_test.cc.o"
+  "CMakeFiles/core_sproc_test.dir/core_sproc_test.cc.o.d"
+  "core_sproc_test"
+  "core_sproc_test.pdb"
+  "core_sproc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sproc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_teardown_test.dir/core_teardown_test.cc.o"
+  "CMakeFiles/core_teardown_test.dir/core_teardown_test.cc.o.d"
+  "core_teardown_test"
+  "core_teardown_test.pdb"
+  "core_teardown_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_teardown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_vm_share_test.dir/core_vm_share_test.cc.o"
+  "CMakeFiles/core_vm_share_test.dir/core_vm_share_test.cc.o.d"
+  "core_vm_share_test"
+  "core_vm_share_test.pdb"
+  "core_vm_share_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_vm_share_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

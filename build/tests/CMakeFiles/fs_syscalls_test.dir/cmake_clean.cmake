@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_syscalls_test.dir/fs_syscalls_test.cc.o"
+  "CMakeFiles/fs_syscalls_test.dir/fs_syscalls_test.cc.o.d"
+  "fs_syscalls_test"
+  "fs_syscalls_test.pdb"
+  "fs_syscalls_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_syscalls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/sg_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/sg_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mach/CMakeFiles/sg_mach.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/sg_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sg_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/sg_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/sg_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/sg_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/sg_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

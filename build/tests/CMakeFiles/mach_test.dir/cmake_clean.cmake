@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mach_test.dir/mach_test.cc.o"
+  "CMakeFiles/mach_test.dir/mach_test.cc.o.d"
+  "mach_test"
+  "mach_test.pdb"
+  "mach_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mach_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

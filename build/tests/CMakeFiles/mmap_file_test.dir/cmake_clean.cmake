@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmap_file_test.dir/mmap_file_test.cc.o"
+  "CMakeFiles/mmap_file_test.dir/mmap_file_test.cc.o.d"
+  "mmap_file_test"
+  "mmap_file_test.pdb"
+  "mmap_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmap_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prctl_test.dir/prctl_test.cc.o"
+  "CMakeFiles/prctl_test.dir/prctl_test.cc.o.d"
+  "prctl_test"
+  "prctl_test.pdb"
+  "prctl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prctl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shaddr_unit_test.dir/shaddr_unit_test.cc.o"
+  "CMakeFiles/shaddr_unit_test.dir/shaddr_unit_test.cc.o.d"
+  "shaddr_unit_test"
+  "shaddr_unit_test.pdb"
+  "shaddr_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shaddr_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
