@@ -4,7 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <functional>
+#include <string>
 
 #include "api/kernel.h"
 #include "api/user_env.h"
@@ -20,6 +22,43 @@ inline void RunSim(Kernel& k, std::function<void(Env&)> body) {
   }
   k.WaitAll();
 }
+
+// Console reporter that additionally prints one machine-readable JSON line
+// per benchmark run to stdout, so sweep scripts can scrape results without
+// parsing the human table:
+//   {"bench":"E3_VmSync/4","ns_per_op":123.4,"iterations":1000,
+//    "params":"4","counters":{"ipis":7.0}}
+// Every bench binary uses it through bench_main.cc.
+class JsonLineReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) {
+        continue;
+      }
+      const std::string name = run.benchmark_name();
+      const double ns_per_op =
+          run.iterations == 0 ? 0.0
+                              : run.real_accumulated_time / static_cast<double>(run.iterations) * 1e9;
+      // Everything after the first '/' is the arg tuple (e.g. "4/1024").
+      const auto slash = name.find('/');
+      const std::string params = slash == std::string::npos ? "" : name.substr(slash + 1);
+      std::string counters;
+      for (const auto& [cname, cvalue] : run.counters) {
+        if (!counters.empty()) {
+          counters += ',';
+        }
+        counters += '"' + cname + "\":" + std::to_string(static_cast<double>(cvalue));
+      }
+      std::printf("{\"bench\":\"%s\",\"ns_per_op\":%.3f,\"iterations\":%lld,\"params\":\"%s\","
+                  "\"counters\":{%s}}\n",
+                  name.c_str(), ns_per_op, static_cast<long long>(run.iterations),
+                  params.c_str(), counters.c_str());
+      std::fflush(stdout);
+    }
+  }
+};
 
 }  // namespace sg
 

@@ -4,6 +4,8 @@
 #include "api/user_env.h"
 #include "base/check.h"
 #include "base/log.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
 #include "proc/deliver.h"
 #include "sync/wait.h"
 #include "vm/access.h"
@@ -22,12 +24,72 @@ Kernel::Kernel(const BootParams& params)
     swap_ = std::make_unique<SwapSpace>(params.swap_pages);
     mem_.AttachSwap(swap_.get());
   }
+  if (params.mount_procfs) {
+    procfs_ = std::make_unique<obs::Procfs>(
+        vfs_, [this] { return SnapshotProcs(); }, [this] { return SnapshotGroups(); });
+  }
+}
+
+std::vector<obs::ProcStatus> Kernel::SnapshotProcs() {
+  // Pid -> group id, from the blocks' member chains (blocks_mu_ then each
+  // block's list lock, matching the PR_JOINGROUP lock order).
+  std::map<pid_t, u64> groups;
+  {
+    std::lock_guard<std::mutex> l(blocks_mu_);
+    for (const auto& [raw, owned] : blocks_) {
+      owned->ForEachMember([&](Proc& m) { groups[m.pid] = owned->id(); });
+    }
+  }
+  std::vector<obs::ProcStatus> out;
+  procs_.ForEach([&](Proc& q) {
+    obs::ProcStatus s;
+    s.pid = q.pid;
+    s.ppid = q.ppid.load(std::memory_order_relaxed);
+    switch (q.state.load(std::memory_order_acquire)) {
+      case ProcState::kEmbryo: s.state = 'E'; break;
+      case ProcState::kActive: s.state = 'A'; break;
+      case ProcState::kZombie: s.state = 'Z'; break;
+    }
+    s.uid = q.uid;
+    s.gid = q.gid;
+    s.shmask = q.p_shmask;
+    s.pflag = q.p_flag.load(std::memory_order_relaxed);
+    auto it = groups.find(q.pid);
+    s.group = it == groups.end() ? -1 : static_cast<i64>(it->second);
+    s.syscalls = q.syscalls.load(std::memory_order_relaxed);
+    out.push_back(s);
+  });
+  obs::Stats::Global().gauge("procs.live").Set(static_cast<i64>(out.size()));
+  return out;
+}
+
+std::vector<obs::GroupStatus> Kernel::SnapshotGroups() {
+  std::vector<obs::GroupStatus> out;
+  {
+    std::lock_guard<std::mutex> l(blocks_mu_);
+    for (const auto& [raw, owned] : blocks_) {
+      obs::GroupStatus g;
+      g.id = owned->id();
+      g.refcnt = owned->refcnt();
+      owned->ForEachMember([&](Proc& m) { g.members.push_back(m.pid); });
+      const SharedReadLock& lk = owned->space().lock();
+      g.lock_reads = lk.reads();
+      g.lock_updates = lk.updates();
+      g.lock_read_waits = lk.read_waits();
+      g.lock_update_waits = lk.update_waits();
+      g.ofiles = owned->OfileCount();
+      out.push_back(std::move(g));
+    }
+  }
+  obs::Stats::Global().gauge("blocks.live").Set(static_cast<i64>(out.size()));
+  return out;
 }
 
 Kernel::~Kernel() { WaitAll(); }
 
 void Kernel::SyscallEnter(Proc& p) {
   p.syscalls.fetch_add(1, std::memory_order_relaxed);
+  SG_OBS_INC("sys.entries");
   // §6.3: one AND of the p_flag sync bits; the slow path runs only when
   // another member changed a shared resource since our last entry.
   if (p.shaddr != nullptr) {
@@ -62,6 +124,7 @@ void Kernel::StartProcThread(Proc* c, UserFn fn, long arg) {
 
 void Kernel::ProcMain(Proc* p) {
   SetCurrentExecutionContext(p);
+  obs::CurrentTraceContext().pid = p->pid;
   p->AcquireCpuInitial();
   p->state.store(ProcState::kActive, std::memory_order_release);
   int status = 0;
@@ -74,11 +137,13 @@ void Kernel::ProcMain(Proc* p) {
   }
   TerminateProcess(*p, status, signal);
   SetCurrentExecutionContext(nullptr);
+  obs::CurrentTraceContext().pid = 0;
 }
 
 void Kernel::TerminateProcess(Proc& p, int status, int signal) {
   p.exit_status = status;
   p.term_signal = signal;
+  obs::Trace(obs::TraceKind::kProcExit, static_cast<u64>(status), static_cast<u64>(signal));
 
   // Release the u-area's counted resources. Only this process's own
   // references go away; a share group's master copies (which hold their own
@@ -202,6 +267,7 @@ void Kernel::Exit(Proc& p, int status) {
 
 Result<WaitResult> Kernel::Wait(Proc& p) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("wait");
   Proc* zombie = nullptr;
   bool have_children = false;
   // The scan runs while holding reap_mu_ (the BlockOn mutex); ForEach adds
@@ -242,6 +308,7 @@ Result<WaitResult> Kernel::Wait(Proc& p) {
 
 Status Kernel::Kill(Proc& p, pid_t target, int sig) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("kill");
   if (!ValidSignal(sig)) {
     SyscallExit(p);
     return Errno::kEINVAL;
@@ -269,6 +336,7 @@ Status Kernel::Kill(Proc& p, pid_t target, int sig) {
 
 Status Kernel::Sigaction(Proc& p, int sig, SigDisp disp, std::function<void(int)> handler) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("sigaction");
   Status st = Status::Ok();
   if (!ValidSignal(sig) || sig == kSigKill) {
     st = Errno::kEINVAL;  // SIGKILL cannot be caught or ignored
@@ -282,6 +350,7 @@ Status Kernel::Sigaction(Proc& p, int sig, SigDisp disp, std::function<void(int)
 
 Result<u32> Kernel::Sigsetmask(Proc& p, u32 mask) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("sigsetmask");
   const u32 old = p.sig_blocked.exchange(mask & ~SigBit(kSigKill), std::memory_order_acq_rel);
   SyscallExit(p);
   return old;
@@ -289,6 +358,7 @@ Result<u32> Kernel::Sigsetmask(Proc& p, u32 mask) {
 
 Status Kernel::Pause(Proc& p) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("pause");
   bool slept = false;
   {
     std::unique_lock<std::mutex> l(p.wait_mu);
@@ -321,6 +391,7 @@ Status Kernel::Sigpause(Proc& p) {
 
 void Kernel::Yield(Proc& p) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("yield");
   p.YieldCpu();
   SyscallExit(p);
 }

@@ -28,6 +28,7 @@
 #include "hw/phys_mem.h"
 #include "hw/swap.h"
 #include "ipc/sysv.h"
+#include "obs/procfs.h"
 #include "proc/proc.h"
 #include "proc/proc_table.h"
 #include "proc/scheduler.h"
@@ -46,6 +47,10 @@ struct BootParams {
   // Swap device size in pages; 0 = no swap (faults fail hard with ENOMEM
   // when physical memory is exhausted, instead of waking the pager).
   u32 swap_pages = 0;
+  // Mount the synthetic /proc filesystem at boot (obs/procfs.h): user
+  // processes then read kernel counters and share-group state through
+  // ordinary open/read.
+  bool mount_procfs = true;
 };
 
 struct WaitResult {
@@ -195,6 +200,8 @@ class Kernel {
   // The share block of `p`, if any (tests).
   ShaddrBlock* BlockOf(Proc& p) { return p.shaddr; }
   u64 LiveBlocks() const;
+  // The mounted /proc (null when booted with mount_procfs = false).
+  obs::Procfs* procfs() { return procfs_.get(); }
 
   // Marks kernel entry explicitly (benches measuring entry cost).
   void SyscallEnter(Proc& p);
@@ -220,6 +227,10 @@ class Kernel {
   // Reaps `z` (already a zombie): joins its thread and frees the slot.
   WaitResult Reap(Proc* z);
 
+  // Snapshot providers behind /proc (obs/procfs.h).
+  std::vector<obs::ProcStatus> SnapshotProcs();
+  std::vector<obs::GroupStatus> SnapshotGroups();
+
   Cred CredOf(const Proc& p) const { return Cred{p.uid, p.gid}; }
   // The share block to use for fd-table updates, or null if not sharing.
   ShaddrBlock* FdBlock(Proc& p) {
@@ -237,6 +248,10 @@ class Kernel {
 
   mutable std::mutex blocks_mu_;
   std::map<ShaddrBlock*, std::unique_ptr<ShaddrBlock>> blocks_;
+
+  // Declared after vfs_/procs_/blocks_: destroyed first, so /proc is
+  // unmounted while the inode table is still fully alive.
+  std::unique_ptr<obs::Procfs> procfs_;
 
   // Exit/reap coordination: zombies bump the generation and notify.
   std::mutex reap_mu_;

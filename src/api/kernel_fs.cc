@@ -7,12 +7,14 @@
 #include <vector>
 
 #include "api/kernel.h"
+#include "obs/stats.h"
 #include "vm/access.h"
 
 namespace sg {
 
 Result<int> Kernel::Open(Proc& p, std::string_view path, u32 flags, mode_t mode) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("open");
   ShaddrBlock* b = FdBlock(p);
   if (b != nullptr) {
     b->LockFileUpdate();
@@ -43,6 +45,7 @@ Result<int> Kernel::Open(Proc& p, std::string_view path, u32 flags, mode_t mode)
 
 Status Kernel::Close(Proc& p, int fd) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("close");
   ShaddrBlock* b = FdBlock(p);
   if (b != nullptr) {
     b->LockFileUpdate();
@@ -67,6 +70,7 @@ Status Kernel::Close(Proc& p, int fd) {
 
 Result<int> Kernel::Dup(Proc& p, int fd) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("dup");
   ShaddrBlock* b = FdBlock(p);
   if (b != nullptr) {
     b->LockFileUpdate();
@@ -95,6 +99,7 @@ Result<int> Kernel::Dup(Proc& p, int fd) {
 
 Result<int> Kernel::Dup2(Proc& p, int fd, int newfd) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("dup2");
   ShaddrBlock* b = FdBlock(p);
   if (b != nullptr) {
     b->LockFileUpdate();
@@ -126,6 +131,7 @@ Result<int> Kernel::Dup2(Proc& p, int fd, int newfd) {
 
 Status Kernel::SetCloexec(Proc& p, int fd, bool on) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("setcloexec");
   ShaddrBlock* b = FdBlock(p);
   if (b != nullptr) {
     b->LockFileUpdate();
@@ -149,6 +155,7 @@ Status Kernel::SetCloexec(Proc& p, int fd, bool on) {
 
 Result<bool> Kernel::GetCloexec(Proc& p, int fd) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("getcloexec");
   Result<bool> r = Errno::kEBADF;
   if (p.fds.ValidFd(fd) && p.fds.Slot(fd).used()) {
     r = p.fds.Slot(fd).close_on_exec;
@@ -159,6 +166,7 @@ Result<bool> Kernel::GetCloexec(Proc& p, int fd) {
 
 Result<std::pair<int, int>> Kernel::MakePipe(Proc& p) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("makepipe");
   ShaddrBlock* b = FdBlock(p);
   if (b != nullptr) {
     b->LockFileUpdate();
@@ -197,6 +205,7 @@ Result<std::pair<int, int>> Kernel::MakePipe(Proc& p) {
 
 Result<u64> Kernel::Read(Proc& p, int fd, vaddr_t ubuf, u64 len) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("read");
   auto fr = p.fds.Get(fd);
   if (!fr.ok()) {
     SyscallExit(p);
@@ -235,6 +244,7 @@ Result<u64> Kernel::Read(Proc& p, int fd, vaddr_t ubuf, u64 len) {
 
 Result<u64> Kernel::Write(Proc& p, int fd, vaddr_t ubuf, u64 len) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("write");
   auto fr = p.fds.Get(fd);
   if (!fr.ok()) {
     SyscallExit(p);
@@ -273,6 +283,7 @@ Result<u64> Kernel::Write(Proc& p, int fd, vaddr_t ubuf, u64 len) {
 
 Result<u64> Kernel::ReadK(Proc& p, int fd, std::span<std::byte> out) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("readk");
   auto fr = p.fds.Get(fd);
   Result<u64> r = fr.ok() ? vfs_.ReadFile(*fr.value(), out.data(), out.size())
                           : Result<u64>(fr.error());
@@ -282,6 +293,7 @@ Result<u64> Kernel::ReadK(Proc& p, int fd, std::span<std::byte> out) {
 
 Result<u64> Kernel::WriteK(Proc& p, int fd, std::span<const std::byte> in) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("writek");
   auto fr = p.fds.Get(fd);
   Result<u64> r = fr.ok() ? vfs_.WriteFile(*fr.value(), in.data(), in.size(), p.ulimit)
                           : Result<u64>(fr.error());
@@ -294,6 +306,7 @@ Result<u64> Kernel::WriteK(Proc& p, int fd, std::span<const std::byte> in) {
 
 Result<u64> Kernel::Lseek(Proc& p, int fd, i64 off, SeekWhence whence) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("lseek");
   auto fr = p.fds.Get(fd);
   Result<u64> r = fr.ok() ? vfs_.Seek(*fr.value(), off, whence) : Result<u64>(fr.error());
   SyscallExit(p);
@@ -304,6 +317,7 @@ Result<u64> Kernel::Lseek(Proc& p, int fd, i64 off, SeekWhence whence) {
 
 Status Kernel::Mkdir(Proc& p, std::string_view path, mode_t mode) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("mkdir");
   Status st = vfs_.Mkdir(p.cwd, p.rootdir, CredOf(p), path, mode, p.umask);
   SyscallExit(p);
   return st;
@@ -311,6 +325,7 @@ Status Kernel::Mkdir(Proc& p, std::string_view path, mode_t mode) {
 
 Status Kernel::Link(Proc& p, std::string_view existing, std::string_view newpath) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("link");
   Status st = vfs_.Link(p.cwd, p.rootdir, CredOf(p), existing, newpath);
   SyscallExit(p);
   return st;
@@ -318,6 +333,7 @@ Status Kernel::Link(Proc& p, std::string_view existing, std::string_view newpath
 
 Status Kernel::Unlink(Proc& p, std::string_view path) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("unlink");
   Status st = vfs_.Unlink(p.cwd, p.rootdir, CredOf(p), path);
   SyscallExit(p);
   return st;
@@ -325,6 +341,7 @@ Status Kernel::Unlink(Proc& p, std::string_view path) {
 
 Status Kernel::Rmdir(Proc& p, std::string_view path) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("rmdir");
   Status st = vfs_.Rmdir(p.cwd, p.rootdir, CredOf(p), path);
   SyscallExit(p);
   return st;
@@ -354,6 +371,7 @@ Result<Inode*> ResolveDir(Vfs& vfs, Proc& p, Cred cred, std::string_view path) {
 
 Status Kernel::Chdir(Proc& p, std::string_view path) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("chdir");
   auto dir = ResolveDir(vfs_, p, CredOf(p), path);
   Status st = Status::Ok();
   if (!dir.ok()) {
@@ -372,6 +390,7 @@ Status Kernel::Chdir(Proc& p, std::string_view path) {
 
 Status Kernel::Chroot(Proc& p, std::string_view path) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("chroot");
   Status st = Status::Ok();
   if (p.uid != 0) {
     st = Errno::kEPERM;
@@ -407,6 +426,7 @@ StatResult FillStat(InodeTable& inodes, Inode* ip) {
 
 Result<StatResult> Kernel::Stat(Proc& p, std::string_view path) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("stat");
   auto ip = vfs_.Namei(p.cwd, p.rootdir, CredOf(p), path);
   Result<StatResult> r = Errno::kENOENT;
   if (!ip.ok()) {
@@ -421,6 +441,7 @@ Result<StatResult> Kernel::Stat(Proc& p, std::string_view path) {
 
 Result<StatResult> Kernel::Fstat(Proc& p, int fd) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("fstat");
   auto fr = p.fds.Get(fd);
   Result<StatResult> r =
       fr.ok() ? Result<StatResult>(FillStat(vfs_.inodes(), fr.value()->inode()))
@@ -431,6 +452,7 @@ Result<StatResult> Kernel::Fstat(Proc& p, int fd) {
 
 Result<std::string> Kernel::Getcwd(Proc& p) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("getcwd");
   Result<std::string> r = Errno::kENOENT;
   {
     InodeTable& inodes = vfs_.inodes();
@@ -468,6 +490,7 @@ Result<std::string> Kernel::Getcwd(Proc& p) {
 
 Result<std::vector<std::string>> Kernel::ListDir(Proc& p, std::string_view path) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("listdir");
   Result<std::vector<std::string>> r = Errno::kENOENT;
   auto ip = vfs_.Namei(p.cwd, p.rootdir, CredOf(p), path);
   if (!ip.ok()) {
@@ -488,6 +511,7 @@ Result<std::vector<std::string>> Kernel::ListDir(Proc& p, std::string_view path)
 
 Status Kernel::Chmod(Proc& p, std::string_view path, mode_t mode) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("chmod");
   auto ip = vfs_.Namei(p.cwd, p.rootdir, CredOf(p), path);
   Status st = Status::Ok();
   if (!ip.ok()) {

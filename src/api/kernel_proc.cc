@@ -1,6 +1,7 @@
 // Process creation and the paper's sproc(2)/prctl(2) interface (§5), plus
 // the identity/limit syscalls whose values share groups can propagate.
 #include "api/kernel.h"
+#include "obs/stats.h"
 #include "api/user_env.h"
 #include "base/check.h"
 #include "vm/access.h"
@@ -114,6 +115,7 @@ void AbortEmbryo(Kernel& k, Proc* c) {
 
 Result<pid_t> Kernel::Fork(Proc& p, UserFn entry, long arg) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("fork");
   auto alloc = procs_.Alloc();
   if (!alloc.ok()) {
     SyscallExit(p);
@@ -139,6 +141,7 @@ Result<pid_t> Kernel::Fork(Proc& p, UserFn entry, long arg) {
 
 Result<pid_t> Kernel::Sproc(Proc& p, UserFn entry, u32 shmask, long arg) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("sproc");
   const bool priv_data = (shmask & PR_PRIVDATA) != 0;  // §8 extension
   shmask &= PR_SALL;
   // §5.1 strict inheritance: "a process can only cause a child to share
@@ -224,6 +227,7 @@ Result<pid_t> Kernel::Sproc(Proc& p, UserFn entry, u32 shmask, long arg) {
 
 Result<i64> Kernel::Prctl(Proc& p, u32 option, i64 value) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("prctl");
   Result<i64> r = Errno::kEINVAL;
   switch (option) {
     case PR_MAXPROCS:
@@ -371,6 +375,7 @@ Result<i64> Kernel::Prctl(Proc& p, u32 option, i64 value) {
 
 Status Kernel::Exec(Proc& p, const Image& img, long arg) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("exec");
   if (!img.main) {
     SyscallExit(p);
     return Errno::kEINVAL;
@@ -417,6 +422,7 @@ Status Kernel::Exec(Proc& p, const Image& img, long arg) {
 
 Status Kernel::Setuid(Proc& p, uid_t uid) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("setuid");
   Status st = Status::Ok();
   if (p.uid != 0 && uid != p.uid) {
     st = Errno::kEPERM;
@@ -431,6 +437,7 @@ Status Kernel::Setuid(Proc& p, uid_t uid) {
 
 Status Kernel::Setgid(Proc& p, gid_t gid) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("setgid");
   Status st = Status::Ok();
   if (p.uid != 0 && gid != p.gid) {
     st = Errno::kEPERM;
@@ -445,6 +452,7 @@ Status Kernel::Setgid(Proc& p, gid_t gid) {
 
 Result<mode_t> Kernel::Umask(Proc& p, mode_t mask) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("umask");
   const mode_t old = p.umask;
   if (p.shaddr != nullptr && (p.p_shmask & PR_SUMASK) != 0) {
     p.shaddr->UpdateUmask(p, mask);
@@ -457,6 +465,7 @@ Result<mode_t> Kernel::Umask(Proc& p, mode_t mask) {
 
 Result<u64> Kernel::UlimitGet(Proc& p) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("ulimitget");
   const u64 v = p.ulimit;
   SyscallExit(p);
   return v;
@@ -464,6 +473,7 @@ Result<u64> Kernel::UlimitGet(Proc& p) {
 
 Status Kernel::UlimitSet(Proc& p, u64 bytes) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("ulimitset");
   Status st = Status::Ok();
   if (bytes > p.ulimit && p.uid != 0) {
     st = Errno::kEPERM;  // only the superuser may raise the limit

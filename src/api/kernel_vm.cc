@@ -2,6 +2,7 @@
 #include <optional>
 
 #include "api/kernel.h"
+#include "obs/stats.h"
 #include "vm/access.h"
 #include "vm/page_source.h"
 
@@ -32,6 +33,7 @@ class InodePageSource final : public PageSource {
 
 Result<vaddr_t> Kernel::Sbrk(Proc& p, i64 delta) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("sbrk");
   auto r = sg::Sbrk(p.as, delta);
   SyscallExit(p);
   return r;
@@ -39,6 +41,7 @@ Result<vaddr_t> Kernel::Sbrk(Proc& p, i64 delta) {
 
 Result<vaddr_t> Kernel::Mmap(Proc& p, u64 bytes, u32 prot) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("mmap");
   auto r = MapAnon(p.as, bytes, prot);
   SyscallExit(p);
   return r;
@@ -46,6 +49,7 @@ Result<vaddr_t> Kernel::Mmap(Proc& p, u64 bytes, u32 prot) {
 
 Status Kernel::Munmap(Proc& p, vaddr_t base) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("munmap");
   Status st = Unmap(p.as, base);
   SyscallExit(p);
   return st;
@@ -53,6 +57,7 @@ Status Kernel::Munmap(Proc& p, vaddr_t base) {
 
 Result<vaddr_t> Kernel::MapFile(Proc& p, int fd, u64 offset, u64 len, bool shared_mapping) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("mapfile");
   Result<vaddr_t> r = Errno::kEBADF;
   auto fr = p.fds.Get(fd);
   if (!fr.ok()) {
@@ -79,6 +84,7 @@ Result<vaddr_t> Kernel::MapFile(Proc& p, int fd, u64 offset, u64 len, bool share
 
 Status Kernel::Msync(Proc& p, vaddr_t base) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("msync");
   Status st = Errno::kEINVAL;
   {
     SharedSpace* ss = p.as.shared();
@@ -102,6 +108,7 @@ Status Kernel::Msync(Proc& p, vaddr_t base) {
 
 Result<int> Kernel::Shmget(Proc& p, i32 key, u64 bytes) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("shmget");
   auto r = ipc_.ShmGet(key, bytes);
   SyscallExit(p);
   return r;
@@ -109,6 +116,7 @@ Result<int> Kernel::Shmget(Proc& p, i32 key, u64 bytes) {
 
 Result<vaddr_t> Kernel::Shmat(Proc& p, int shmid) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("shmat");
   Result<vaddr_t> r = Errno::kEIDRM;
   auto region = ipc_.ShmRegion(shmid);
   if (!region.ok()) {
@@ -122,6 +130,7 @@ Result<vaddr_t> Kernel::Shmat(Proc& p, int shmid) {
 
 Status Kernel::Shmdt(Proc& p, vaddr_t base) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("shmdt");
   Status st = Unmap(p.as, base);
   SyscallExit(p);
   return st;
@@ -129,6 +138,7 @@ Status Kernel::Shmdt(Proc& p, vaddr_t base) {
 
 Status Kernel::ShmRemove(Proc& p, int shmid) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("shmremove");
   Status st = ipc_.ShmRemove(shmid);
   SyscallExit(p);
   return st;
@@ -136,6 +146,7 @@ Status Kernel::ShmRemove(Proc& p, int shmid) {
 
 Result<int> Kernel::Semget(Proc& p, i32 key, i64 initial) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("semget");
   auto r = ipc_.SemGet(key, initial);
   SyscallExit(p);
   return r;
@@ -143,6 +154,7 @@ Result<int> Kernel::Semget(Proc& p, i32 key, i64 initial) {
 
 Status Kernel::SemOp(Proc& p, int semid, i64 delta) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("semop");
   Status st = Status::Ok();
   auto sem = ipc_.Sem(semid);
   if (!sem.ok()) {
@@ -156,6 +168,7 @@ Status Kernel::SemOp(Proc& p, int semid, i64 delta) {
 
 Status Kernel::SemRemove(Proc& p, int semid) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("semremove");
   Status st = ipc_.SemRemove(semid);
   SyscallExit(p);
   return st;
@@ -163,6 +176,7 @@ Status Kernel::SemRemove(Proc& p, int semid) {
 
 Result<int> Kernel::Msgget(Proc& p, i32 key) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("msgget");
   auto r = ipc_.MsgGet(key);
   SyscallExit(p);
   return r;
@@ -170,6 +184,7 @@ Result<int> Kernel::Msgget(Proc& p, i32 key) {
 
 Status Kernel::Msgsnd(Proc& p, int msqid, std::span<const std::byte> msg) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("msgsnd");
   Status st = Status::Ok();
   auto q = ipc_.Msg(msqid);
   if (!q.ok()) {
@@ -183,6 +198,7 @@ Status Kernel::Msgsnd(Proc& p, int msqid, std::span<const std::byte> msg) {
 
 Result<u64> Kernel::Msgrcv(Proc& p, int msqid, std::span<std::byte> out) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("msgrcv");
   Result<u64> r = Errno::kEIDRM;
   auto q = ipc_.Msg(msqid);
   if (!q.ok()) {
@@ -196,6 +212,7 @@ Result<u64> Kernel::Msgrcv(Proc& p, int msqid, std::span<std::byte> out) {
 
 Status Kernel::MsgsndU(Proc& p, int msqid, vaddr_t msg, u64 len) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("msgsndu");
   Status st = Status::Ok();
   auto q = ipc_.Msg(msqid);
   if (!q.ok()) {
@@ -213,6 +230,7 @@ Status Kernel::MsgsndU(Proc& p, int msqid, vaddr_t msg, u64 len) {
 
 Result<u64> Kernel::MsgrcvU(Proc& p, int msqid, vaddr_t out, u64 cap) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("msgrcvu");
   Result<u64> r = Errno::kEIDRM;
   auto q = ipc_.Msg(msqid);
   if (!q.ok()) {
@@ -233,6 +251,7 @@ Result<u64> Kernel::MsgrcvU(Proc& p, int msqid, vaddr_t out, u64 cap) {
 
 Status Kernel::MsgRemove(Proc& p, int msqid) {
   SyscallEnter(p);
+  SG_OBS_SYSCALL("msgremove");
   Status st = ipc_.MsgRemove(msqid);
   SyscallExit(p);
   return st;

@@ -12,9 +12,16 @@ namespace {
 // ("certain small parts of a process's VM space are not shared", §5.1).
 bool Sharable(const Pregion& pr) { return pr.region->type() != RegionType::kPrda; }
 
+// Group ids are process-wide and never reused, so /proc/share names stay
+// unambiguous across the lifetime of the simulation.
+std::atomic<u64> g_next_group_id{1};
+
 }  // namespace
 
-ShaddrBlock::ShaddrBlock(Proc& creator, CpuSet& cpus, Vfs& vfs) : vfs_(vfs), space_(cpus) {
+ShaddrBlock::ShaddrBlock(Proc& creator, CpuSet& cpus, Vfs& vfs)
+    : vfs_(vfs),
+      space_(cpus),
+      id_(g_next_group_id.fetch_add(1, std::memory_order_relaxed)) {
   // Move the creator's sharable pregions onto the shared list (§6.2: "When
   // a process first creates a share group all of its sharable pregions are
   // moved to the list of pregions in the shared address block"). Nobody
@@ -213,11 +220,18 @@ u32 ShaddrBlock::refcnt() const {
 }
 
 void ShaddrBlock::FlagOthers(Proc& self, u32 resource, u32 bit) {
-  SpinGuard g(listlock_);
-  for (Proc* m = plink_; m != nullptr; m = m->s_plink) {
-    if (m != &self && (m->p_shmask & resource) != 0) {
-      m->p_flag.fetch_or(bit, std::memory_order_acq_rel);
+  u64 flagged = 0;
+  {
+    SpinGuard g(listlock_);
+    for (Proc* m = plink_; m != nullptr; m = m->s_plink) {
+      if (m != &self && (m->p_shmask & resource) != 0) {
+        m->p_flag.fetch_or(bit, std::memory_order_acq_rel);
+        ++flagged;
+      }
     }
+  }
+  if (flagged > 0) {
+    SG_OBS_ADD("core.sync_flags_set", flagged);
   }
 }
 
@@ -356,6 +370,8 @@ void ShaddrBlock::SyncOnKernelEntry(Proc& p) {
   if ((flags & kPfSyncAny) == 0) {
     return;
   }
+  SG_OBS_INC("core.sync_pulls");
+  obs::Trace(obs::TraceKind::kResourceSync, flags & kPfSyncAny);
   if ((flags & kPfSyncFds) != 0) {
     LockFileUpdate();
     PullFdsIfFlagged(p);

@@ -29,6 +29,8 @@
 #include "fs/file.h"
 #include "fs/vfs.h"
 #include "hw/cpu_set.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
 #include "proc/proc.h"
 #include "sync/semaphore.h"
 #include "sync/spinlock.h"
@@ -50,6 +52,9 @@ class ShaddrBlock {
 
   // ----- the pregion half (s_region & friends) -----
   SharedSpace& space() { return space_; }
+
+  // System-wide unique group id (the /proc/share/<id> name).
+  u64 id() const { return id_; }
 
   // ----- member chain (s_plink/s_refcnt/s_listlock) -----
   // Links `child` with its (already strict-inheritance-masked) share mask.
@@ -109,7 +114,14 @@ class ShaddrBlock {
   // Descriptor-table update bracket. Sequence in the syscall layer:
   //   LockFileUpdate(); PullFdsIfFlagged(p); <modify p.fds>;
   //   PublishFds(p); UnlockFileUpdate();
-  void LockFileUpdate() { (void)fupdsema_.P(); }  // uninterruptible: always kOk
+  void LockFileUpdate() {
+    if (fupdsema_.TryP()) {
+      return;  // uncontended: another member isn't mid-update
+    }
+    SG_OBS_INC("core.fupdsema_waits");
+    obs::Trace(obs::TraceKind::kSemSleep, 1);
+    (void)fupdsema_.P();  // uninterruptible: always kOk
+  }
   void UnlockFileUpdate() { fupdsema_.V(); }
   void PullFdsIfFlagged(Proc& p);
   void PublishFds(Proc& p);
@@ -147,6 +159,7 @@ class ShaddrBlock {
 
   Vfs& vfs_;
   SharedSpace space_;
+  const u64 id_;  // assigned at creation, never reused
 
   mutable Spinlock listlock_;  // s_listlock
   Proc* plink_ = nullptr;      // s_plink

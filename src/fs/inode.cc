@@ -39,11 +39,23 @@ void Inode::set_owner(uid_t u, gid_t g) {
 }
 
 u64 Inode::Size() const {
+  if (gen_) {
+    return gen_().size();
+  }
   std::lock_guard<std::mutex> l(mu_);
   return data_.size();
 }
 
 u64 Inode::ReadAt(u64 off, std::byte* out, u64 len) const {
+  if (gen_) {
+    const std::string text = gen_();
+    if (off >= text.size()) {
+      return 0;
+    }
+    const u64 n = std::min<u64>(len, text.size() - off);
+    std::memcpy(out, text.data() + off, n);
+    return n;
+  }
   std::lock_guard<std::mutex> l(mu_);
   if (off >= data_.size()) {
     return 0;
@@ -67,6 +79,9 @@ u64 Inode::WriteAt(u64 off, const std::byte* src, u64 len, u64 limit) {
 }
 
 void Inode::Truncate() {
+  if (gen_) {
+    return;  // synthetic files have no stored data to drop
+  }
   std::lock_guard<std::mutex> l(mu_);
   data_.clear();
 }

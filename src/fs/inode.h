@@ -8,6 +8,7 @@
 #ifndef SRC_FS_INODE_H_
 #define SRC_FS_INODE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -81,6 +82,28 @@ class Inode {
   void AttachPipe(std::unique_ptr<Pipe> p);
   Pipe* pipe() { return pipe_.get(); }
 
+  // --- Synthetic (procfs-style) nodes ---
+  // A generated regular file renders its contents on every ReadAt/Size; it
+  // has no backing data_ and ignores writes/truncation. The callback must
+  // be installed right after Alloc, before the inode is published in any
+  // directory — it is immutable afterwards, so reads call it without mu_
+  // (the generator may take arbitrary kernel locks of its own).
+  void SetGenerator(std::function<std::string()> gen) { gen_ = std::move(gen); }
+  bool generated() const { return static_cast<bool>(gen_); }
+
+  // A refreshable directory re-populates its entries when path resolution
+  // walks through it. Same publication discipline as SetGenerator; the
+  // hook runs without mu_ held.
+  void SetRefreshHook(std::function<void()> hook) { refresh_ = std::move(hook); }
+  void InvokeRefresh() const {
+    if (refresh_) {
+      refresh_();
+    }
+  }
+  // Synthetic directories own their namespace: user link/unlink/creat in
+  // them is EPERM (even for root), like a real procfs.
+  bool synthetic() const { return static_cast<bool>(refresh_); }
+
  private:
   const ino_t ino_;
   const InodeType type_;
@@ -92,6 +115,8 @@ class Inode {
   std::vector<std::byte> data_;              // kRegular
   std::map<std::string, Inode*> entries_;    // kDirectory
   std::unique_ptr<Pipe> pipe_;               // kPipe
+  std::function<std::string()> gen_;         // synthetic kRegular (no mu_)
+  std::function<void()> refresh_;            // synthetic kDirectory (no mu_)
 };
 
 // Wanted access for permission checks.

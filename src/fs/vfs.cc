@@ -58,6 +58,7 @@ Result<Inode*> Vfs::Namei(Inode* cwd, Inode* rootdir, const Cred& cred, std::str
       inodes_.Iput(at);
       return Errno::kEACCES;
     }
+    at->InvokeRefresh();  // synthetic dirs (procfs) re-populate before lookup
     Inode* next;
     if (comp == ".") {
       next = at;
@@ -75,6 +76,9 @@ Result<Inode*> Vfs::Namei(Inode* cwd, Inode* rootdir, const Cred& cred, std::str
     next = inodes_.Iget(next);
     inodes_.Iput(at);
     at = next;
+  }
+  if (at->type() == InodeType::kDirectory) {
+    at->InvokeRefresh();  // resolving the dir itself (e.g. for ListDir)
   }
   return at;
 }
@@ -138,6 +142,10 @@ Result<OpenFile*> Vfs::Open(Inode* cwd, Inode* rootdir, const Cred& cred, std::s
       return dir.error();
     }
     Inode* dp = dir.value();
+    if (dp->synthetic()) {
+      inodes_.Iput(dp);
+      return Errno::kEPERM;
+    }
     if (!Permits(*dp, cred.uid, cred.gid, Access::kWrite)) {
       inodes_.Iput(dp);
       return Errno::kEACCES;
@@ -174,6 +182,10 @@ Result<OpenFile*> Vfs::Open(Inode* cwd, Inode* rootdir, const Cred& cred, std::s
     inodes_.Iput(ip);
     return Errno::kEACCES;
   }
+  if ((flags & kOpenWrite) != 0 && ip->generated()) {
+    inodes_.Iput(ip);
+    return Errno::kEPERM;  // synthetic files render on read; writes are meaningless
+  }
   if ((flags & kOpenTrunc) != 0 && ip->type() == InodeType::kRegular) {
     ip->Truncate();
   }
@@ -193,6 +205,10 @@ Status Vfs::Mkdir(Inode* cwd, Inode* rootdir, const Cred& cred, std::string_view
     return dir.error();
   }
   Inode* dp = dir.value();
+  if (dp->synthetic()) {
+    inodes_.Iput(dp);
+    return Errno::kEPERM;
+  }
   if (!Permits(*dp, cred.uid, cred.gid, Access::kWrite)) {
     inodes_.Iput(dp);
     return Errno::kEACCES;
@@ -239,6 +255,11 @@ Status Vfs::Link(Inode* cwd, Inode* rootdir, const Cred& cred, std::string_view 
     return dir.error();
   }
   Inode* dp = dir.value();
+  if (dp->synthetic() || ip->generated()) {
+    inodes_.Iput(dp);
+    inodes_.Iput(ip);
+    return Errno::kEPERM;
+  }
   if (!Permits(*dp, cred.uid, cred.gid, Access::kWrite)) {
     inodes_.Iput(dp);
     inodes_.Iput(ip);
@@ -260,6 +281,10 @@ Status Vfs::Unlink(Inode* cwd, Inode* rootdir, const Cred& cred, std::string_vie
     return dir.error();
   }
   Inode* dp = dir.value();
+  if (dp->synthetic()) {
+    inodes_.Iput(dp);
+    return Errno::kEPERM;
+  }
   if (!Permits(*dp, cred.uid, cred.gid, Access::kWrite)) {
     inodes_.Iput(dp);
     return Errno::kEACCES;

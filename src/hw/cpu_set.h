@@ -12,6 +12,8 @@
 
 #include "base/types.h"
 #include "hw/tlb.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
 
 namespace sg {
 
@@ -34,6 +36,9 @@ class CpuSet {
     }
     shootdowns_.fetch_add(1, std::memory_order_relaxed);
     ipis_.fetch_add(ncpus_, std::memory_order_relaxed);
+    SG_OBS_INC("tlb.shootdowns");
+    SG_OBS_ADD("tlb.shootdown_ipis", ncpus_);
+    obs::Trace(obs::TraceKind::kTlbShootdown, tlbs.size(), ncpus_);
   }
 
   u64 shootdowns() const { return shootdowns_.load(std::memory_order_relaxed); }

@@ -1,6 +1,7 @@
 #include "hw/tlb.h"
 
 #include "base/check.h"
+#include "obs/stats.h"
 
 namespace sg {
 
@@ -18,11 +19,13 @@ TlbProbe Tlb::Probe(u64 vpn, bool want_write) {
   Entry& e = entries_[SlotFor(vpn)];
   if (!e.valid || e.vpn != vpn) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    SG_OBS_INC("tlb.misses");
     return TlbProbe{TlbProbe::Kind::kMiss, 0};
   }
   if (want_write && !e.writable) {
     // Counted as a miss for stats purposes: it enters the fault path.
     misses_.fetch_add(1, std::memory_order_relaxed);
+    SG_OBS_INC("tlb.misses");
     return TlbProbe{TlbProbe::Kind::kWriteProt, e.pfn};
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
@@ -44,6 +47,7 @@ void Tlb::FlushAll() {
     e.valid = false;
   }
   flushes_.fetch_add(1, std::memory_order_relaxed);
+  SG_OBS_INC("tlb.flushes");
 }
 
 void Tlb::FlushPage(u64 vpn) {
@@ -53,6 +57,7 @@ void Tlb::FlushPage(u64 vpn) {
     e.valid = false;
   }
   flushes_.fetch_add(1, std::memory_order_relaxed);
+  SG_OBS_INC("tlb.flushes");
 }
 
 void Tlb::FlushRange(u64 vpn_begin, u64 vpn_end) {
@@ -63,6 +68,7 @@ void Tlb::FlushRange(u64 vpn_begin, u64 vpn_end) {
     }
   }
   flushes_.fetch_add(1, std::memory_order_relaxed);
+  SG_OBS_INC("tlb.flushes");
 }
 
 }  // namespace sg

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "base/types.h"
+#include "obs/stats.h"
 #include "sync/spinlock.h"
 
 namespace sg {
@@ -58,6 +59,7 @@ class Tlb {
     Entry& e = entries_[SlotFor(vpn)];
     if (!e.valid || e.vpn != vpn || (want_write && !e.writable)) {
       misses_.fetch_add(1, std::memory_order_relaxed);
+      SG_OBS_INC("tlb.misses");
       return false;
     }
     hits_.fetch_add(1, std::memory_order_relaxed);

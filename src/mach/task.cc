@@ -34,7 +34,7 @@ Result<int> MachTask::ThreadCreate(std::function<void(int)> fn) {
   }
   raw->host = std::thread([this, raw, tid, fn = std::move(fn)] {
     ScopedExecutionContext ctx(raw);
-    sched_.AcquireCpu(proc_.priority.load(std::memory_order_relaxed));
+    raw->cpu_ = sched_.AcquireCpu(proc_.priority.load(std::memory_order_relaxed));
     raw->has_cpu_ = true;
     try {
       fn(tid);
@@ -43,7 +43,7 @@ Result<int> MachTask::ThreadCreate(std::function<void(int)> fn) {
     }
     if (raw->has_cpu_) {
       raw->has_cpu_ = false;
-      sched_.ReleaseCpu();
+      sched_.ReleaseCpu(raw->cpu_);
     }
   });
   return tid;

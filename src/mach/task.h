@@ -42,12 +42,12 @@ class MachThread final : public ExecutionContext {
   void WillBlock() override {
     if (has_cpu_) {
       has_cpu_ = false;
-      sched_.ReleaseCpu();
+      sched_.ReleaseCpu(cpu_);
     }
   }
   void DidWake() override {
     if (!has_cpu_) {
-      sched_.AcquireCpu(priority_);
+      cpu_ = sched_.AcquireCpu(priority_);
       has_cpu_ = true;
     }
   }
@@ -60,6 +60,7 @@ class MachThread final : public ExecutionContext {
   int priority_;
   int tid_;
   bool has_cpu_ = false;
+  u32 cpu_ = 0;  // valid while has_cpu_
 
   friend class MachTask;
 };

@@ -1,0 +1,208 @@
+#include "obs/procfs.h"
+
+#include <cstdio>
+
+#include "base/check.h"
+#include "obs/stats.h"
+
+namespace sg {
+namespace obs {
+
+namespace {
+
+std::string Hex(u64 v) {
+  char buf[2 + 16 + 1];
+  std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+Procfs::Procfs(Vfs& vfs, ProcLister procs, GroupLister groups)
+    : vfs_(vfs), procs_(std::move(procs)), groups_(std::move(groups)) {
+  InodeTable& tab = vfs_.inodes();
+
+  // Build the whole subtree first, then publish "proc" in the root — path
+  // resolution never sees a half-built tree. We keep our own counted
+  // reference on every node we create (released on removal), so the raw
+  // pointers in pid_nodes_/group_nodes_ stay valid.
+  auto made = tab.Alloc(InodeType::kDirectory, 0555, 0, 0);
+  SG_CHECK(made.ok());
+  proc_dir_ = made.value();
+  proc_dir_->parent = vfs_.root();
+  proc_dir_->SetRefreshHook([this] { Refresh(); });
+
+  stat_file_ = MakeFile(proc_dir_, "stat", [] { return Stats::Global().RenderText(); });
+
+  made = tab.Alloc(InodeType::kDirectory, 0555, 0, 0);
+  SG_CHECK(made.ok());
+  share_dir_ = made.value();
+  share_dir_->parent = proc_dir_;
+  share_dir_->SetRefreshHook([this] { Refresh(); });
+  SG_CHECK(proc_dir_->AddEntry("share", share_dir_).ok());
+  tab.LinkInc(share_dir_);
+
+  SG_CHECK(vfs_.root()->AddEntry("proc", proc_dir_).ok());
+  tab.LinkInc(proc_dir_);
+}
+
+Procfs::~Procfs() {
+  std::lock_guard<std::mutex> l(refresh_mu_);
+  InodeTable& tab = vfs_.inodes();
+  for (auto& [pid, node] : pid_nodes_) {
+    RemoveFile(node.dir, "status", node.status);
+    SG_CHECK(proc_dir_->RemoveEntry(std::to_string(pid)).ok());
+    tab.LinkDec(node.dir);
+    tab.Iput(node.dir);
+  }
+  pid_nodes_.clear();
+  for (auto& [gid, ip] : group_nodes_) {
+    RemoveFile(share_dir_, std::to_string(gid), ip);
+  }
+  group_nodes_.clear();
+  RemoveFile(proc_dir_, "stat", stat_file_);
+  SG_CHECK(proc_dir_->RemoveEntry("share").ok());
+  tab.LinkDec(share_dir_);
+  tab.Iput(share_dir_);
+  SG_CHECK(vfs_.root()->RemoveEntry("proc").ok());
+  tab.LinkDec(proc_dir_);
+  tab.Iput(proc_dir_);
+}
+
+Inode* Procfs::MakeDir(Inode* parent, const std::string& name) {
+  InodeTable& tab = vfs_.inodes();
+  auto made = tab.Alloc(InodeType::kDirectory, 0555, 0, 0);
+  SG_CHECK(made.ok());
+  Inode* dir = made.value();
+  dir->parent = parent;
+  // Marks the dir synthetic (user link/unlink inside it is EPERM) and keeps
+  // its entries fresh when a path walk enters it directly.
+  dir->SetRefreshHook([this] { Refresh(); });
+  SG_CHECK(parent->AddEntry(name, dir).ok());
+  tab.LinkInc(dir);
+  return dir;
+}
+
+Inode* Procfs::MakeFile(Inode* parent, const std::string& name,
+                        std::function<std::string()> gen) {
+  InodeTable& tab = vfs_.inodes();
+  auto made = tab.Alloc(InodeType::kRegular, 0444, 0, 0);
+  SG_CHECK(made.ok());
+  Inode* ip = made.value();
+  ip->SetGenerator(std::move(gen));  // before publication: immutable after
+  SG_CHECK(parent->AddEntry(name, ip).ok());
+  tab.LinkInc(ip);
+  return ip;
+}
+
+void Procfs::RemoveFile(Inode* parent, const std::string& name, Inode* ip) {
+  InodeTable& tab = vfs_.inodes();
+  SG_CHECK(parent->RemoveEntry(name).ok());
+  tab.LinkDec(ip);  // an open descriptor keeps the inode alive until close
+  tab.Iput(ip);     // our creation reference
+}
+
+void Procfs::Refresh() {
+  std::lock_guard<std::mutex> l(refresh_mu_);
+  InodeTable& tab = vfs_.inodes();
+
+  // --- /proc/<pid> ---
+  const std::vector<ProcStatus> procs = procs_();
+  std::map<i32, bool> live;
+  for (const ProcStatus& p : procs) {
+    live[p.pid] = true;
+  }
+  for (auto it = pid_nodes_.begin(); it != pid_nodes_.end();) {
+    if (live.count(it->first) != 0) {
+      ++it;
+      continue;
+    }
+    RemoveFile(it->second.dir, "status", it->second.status);
+    SG_CHECK(proc_dir_->RemoveEntry(std::to_string(it->first)).ok());
+    tab.LinkDec(it->second.dir);
+    tab.Iput(it->second.dir);
+    it = pid_nodes_.erase(it);
+  }
+  for (const auto& [pid, unused] : live) {
+    if (pid_nodes_.count(pid) != 0) {
+      continue;
+    }
+    PidNode node;
+    node.dir = MakeDir(proc_dir_, std::to_string(pid));
+    const i32 captured = pid;
+    node.status = MakeFile(node.dir, "status", [this, captured] { return RenderStatus(captured); });
+    pid_nodes_.emplace(pid, node);
+  }
+
+  // --- /proc/share/<gid> ---
+  const std::vector<GroupStatus> groups = groups_();
+  std::map<u64, bool> live_groups;
+  for (const GroupStatus& g : groups) {
+    live_groups[g.id] = true;
+  }
+  for (auto it = group_nodes_.begin(); it != group_nodes_.end();) {
+    if (live_groups.count(it->first) != 0) {
+      ++it;
+      continue;
+    }
+    RemoveFile(share_dir_, std::to_string(it->first), it->second);
+    it = group_nodes_.erase(it);
+  }
+  for (const auto& [gid, unused] : live_groups) {
+    if (group_nodes_.count(gid) != 0) {
+      continue;
+    }
+    const u64 captured = gid;
+    Inode* ip = MakeFile(share_dir_, std::to_string(gid),
+                         [this, captured] { return RenderGroup(captured); });
+    group_nodes_.emplace(gid, ip);
+  }
+}
+
+std::string Procfs::RenderStatus(i32 pid) const {
+  for (const ProcStatus& p : procs_()) {
+    if (p.pid != pid) {
+      continue;
+    }
+    std::string out;
+    out += "pid " + std::to_string(p.pid) + '\n';
+    out += "ppid " + std::to_string(p.ppid) + '\n';
+    out += "state ";
+    out += p.state;
+    out += '\n';
+    out += "uid " + std::to_string(p.uid) + '\n';
+    out += "gid " + std::to_string(p.gid) + '\n';
+    out += "shmask " + Hex(p.shmask) + '\n';
+    out += "pflag " + Hex(p.pflag) + '\n';
+    out += "group " + (p.group < 0 ? std::string("-") : std::to_string(p.group)) + '\n';
+    out += "syscalls " + std::to_string(p.syscalls) + '\n';
+    return out;
+  }
+  return "gone\n";  // pid died between directory refresh and read
+}
+
+std::string Procfs::RenderGroup(u64 gid) const {
+  for (const GroupStatus& g : groups_()) {
+    if (g.id != gid) {
+      continue;
+    }
+    std::string out;
+    out += "group " + std::to_string(g.id) + '\n';
+    out += "refcnt " + std::to_string(g.refcnt) + '\n';
+    out += "members";
+    for (i32 pid : g.members) {
+      out += ' ' + std::to_string(pid);
+    }
+    out += '\n';
+    out += "ofiles " + std::to_string(g.ofiles) + '\n';
+    out += "lock.reads " + std::to_string(g.lock_reads) + '\n';
+    out += "lock.updates " + std::to_string(g.lock_updates) + '\n';
+    out += "lock.read_waits " + std::to_string(g.lock_read_waits) + '\n';
+    out += "lock.update_waits " + std::to_string(g.lock_update_waits) + '\n';
+    return out;
+  }
+  return "gone\n";
+}
+
+}  // namespace obs
+}  // namespace sg

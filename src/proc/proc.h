@@ -25,6 +25,7 @@
 #include "base/types.h"
 #include "fs/file.h"
 #include "fs/inode.h"
+#include "obs/trace.h"
 #include "proc/scheduler.h"
 #include "proc/signal.h"
 #include "sync/execution_context.h"
@@ -113,13 +114,15 @@ class Proc final : public ExecutionContext {
   void WillBlock() override {
     if (has_cpu_) {
       has_cpu_ = false;
-      sched_.ReleaseCpu();
+      obs::CurrentTraceContext().cpu = -1;
+      sched_.ReleaseCpu(cpu_);
     }
   }
   void DidWake() override {
     if (!has_cpu_) {
-      sched_.AcquireCpu(priority.load(std::memory_order_relaxed));
+      cpu_ = sched_.AcquireCpu(priority.load(std::memory_order_relaxed));
       has_cpu_ = true;
+      obs::CurrentTraceContext().cpu = static_cast<i32>(cpu_);
     }
   }
   bool InterruptPending() override {
@@ -181,21 +184,29 @@ class Proc final : public ExecutionContext {
 
   // CPU-slot management for the thread body (api layer).
   void AcquireCpuInitial() {
-    sched_.AcquireCpu(priority.load(std::memory_order_relaxed));
+    cpu_ = sched_.AcquireCpu(priority.load(std::memory_order_relaxed));
     has_cpu_ = true;
+    obs::CurrentTraceContext().cpu = static_cast<i32>(cpu_);
   }
   void ReleaseCpuFinal() {
     if (has_cpu_) {
       has_cpu_ = false;
-      sched_.ReleaseCpu();
+      obs::CurrentTraceContext().cpu = -1;
+      sched_.ReleaseCpu(cpu_);
     }
   }
-  void YieldCpu() { sched_.Yield(priority.load(std::memory_order_relaxed)); }
+  void YieldCpu() {
+    cpu_ = sched_.Yield(priority.load(std::memory_order_relaxed), cpu_);
+    obs::CurrentTraceContext().cpu = static_cast<i32>(cpu_);
+  }
   bool has_cpu() const { return has_cpu_; }
+  // The simulated processor currently (or last) granted to this process.
+  u32 cpu() const { return cpu_; }
 
  private:
   Scheduler& sched_;
   bool has_cpu_ = false;  // owned by this proc's host thread
+  u32 cpu_ = 0;           // valid while has_cpu_
 
   std::mutex wake_reg_mu_;
   std::condition_variable* wake_cv_ = nullptr;

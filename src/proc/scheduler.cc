@@ -1,40 +1,56 @@
 #include "proc/scheduler.h"
 
+#include <algorithm>
 #include <thread>
 
 #include "base/check.h"
 
 namespace sg {
 
-Scheduler::Scheduler(u32 ncpus) : ncpus_(ncpus), free_(ncpus) { SG_CHECK(ncpus >= 1); }
-
-void Scheduler::AcquireCpu(int priority) {
-  std::unique_lock<std::mutex> l(m_);
-  if (free_ > 0 && waiters_.empty()) {
-    --free_;
-    return;
-  }
-  const Ticket me{-priority, next_seq_++};
-  waiters_.insert(me);
-  cv_.wait(l, [&] { return free_ > 0 && *waiters_.begin() == me; });
-  waiters_.erase(me);
-  --free_;
-  ++switches_;
-  if (free_ > 0 && !waiters_.empty()) {
-    cv_.notify_all();  // more slots may be grantable
+Scheduler::Scheduler(u32 ncpus) : ncpus_(ncpus) {
+  SG_CHECK(ncpus >= 1);
+  // Grant low ids first (they come off the back).
+  free_.reserve(ncpus);
+  for (u32 id = ncpus; id > 0; --id) {
+    free_.push_back(id - 1);
   }
 }
 
-void Scheduler::ReleaseCpu() {
+u32 Scheduler::TakeFreeCpu() {
+  SG_CHECK(!free_.empty());
+  const u32 cpu = free_.back();
+  free_.pop_back();
+  return cpu;
+}
+
+u32 Scheduler::AcquireCpu(int priority) {
+  std::unique_lock<std::mutex> l(m_);
+  if (!free_.empty() && waiters_.empty()) {
+    return TakeFreeCpu();
+  }
+  const Ticket me{-priority, next_seq_++};
+  waiters_.insert(me);
+  cv_.wait(l, [&] { return !free_.empty() && *waiters_.begin() == me; });
+  waiters_.erase(me);
+  const u32 cpu = TakeFreeCpu();
+  ++switches_;
+  if (!free_.empty() && !waiters_.empty()) {
+    cv_.notify_all();  // more slots may be grantable
+  }
+  return cpu;
+}
+
+void Scheduler::ReleaseCpu(u32 cpu) {
   {
     std::lock_guard<std::mutex> l(m_);
-    SG_CHECK(free_ < ncpus_);
-    ++free_;
+    SG_CHECK(cpu < ncpus_ && free_.size() < ncpus_);
+    SG_DCHECK(std::find(free_.begin(), free_.end(), cpu) == free_.end());
+    free_.push_back(cpu);
   }
   cv_.notify_all();
 }
 
-void Scheduler::Yield(int priority) {
+u32 Scheduler::Yield(int priority, u32 cpu) {
   {
     std::lock_guard<std::mutex> l(m_);
     // Hand the CPU over only to an equal-or-higher-priority waiter: a
@@ -46,16 +62,16 @@ void Scheduler::Yield(int priority) {
       // processes' host threads a chance (a true multiprocessor runs them
       // concurrently anyway).
       std::this_thread::yield();
-      return;
+      return cpu;
     }
   }
-  ReleaseCpu();
-  AcquireCpu(priority);
+  ReleaseCpu(cpu);
+  return AcquireCpu(priority);
 }
 
 u32 Scheduler::FreeCpus() const {
   std::lock_guard<std::mutex> l(m_);
-  return free_;
+  return static_cast<u32>(free_.size());
 }
 
 u64 Scheduler::ContextSwitches() const {

@@ -14,6 +14,7 @@
 #include <condition_variable>
 #include <mutex>
 #include <set>
+#include <vector>
 
 #include "base/types.h"
 
@@ -26,26 +27,31 @@ class Scheduler {
   Scheduler& operator=(const Scheduler&) = delete;
 
   // Blocks until a CPU slot is free and the caller is the best waiter.
-  // Higher `priority` wins; equal priorities are FIFO.
-  void AcquireCpu(int priority);
+  // Higher `priority` wins; equal priorities are FIFO. Returns the id of
+  // the granted CPU (0..ncpus-1) — holders identify themselves with it
+  // (per-CPU trace rings key on it) and return it to ReleaseCpu.
+  u32 AcquireCpu(int priority);
 
-  void ReleaseCpu();
+  void ReleaseCpu(u32 cpu);
 
   // Gives other runnable processes a chance to run: if anyone is waiting
-  // for a slot, release and reacquire (round-robin among equals).
-  void Yield(int priority);
+  // for a slot, release and reacquire (round-robin among equals). Returns
+  // the CPU the caller runs on afterwards (possibly the same one).
+  u32 Yield(int priority, u32 cpu);
 
   u32 ncpus() const { return ncpus_; }
   u32 FreeCpus() const;
   u64 ContextSwitches() const;
 
  private:
+  u32 TakeFreeCpu();  // caller holds m_
+
   using Ticket = std::pair<i64, u64>;  // (-priority, seq): smallest = best
 
   u32 ncpus_;
   mutable std::mutex m_;
   std::condition_variable cv_;
-  u32 free_;
+  std::vector<u32> free_;  // free CPU ids, granted from the back
   u64 next_seq_ = 0;
   std::set<Ticket> waiters_;
   u64 switches_ = 0;

@@ -1,5 +1,7 @@
 #include "sync/semaphore.h"
 
+#include "obs/stats.h"
+#include "obs/trace.h"
 #include "sync/execution_context.h"
 
 namespace sg {
@@ -31,6 +33,8 @@ Status Semaphore::P(SleepMode mode) {
       }
       slept = true;
       ++sleeps_;
+      SG_OBS_INC("sync.sema_sleeps");
+      obs::Trace(obs::TraceKind::kSemSleep, 0);
       cv_.wait(l);
       if (ctx != nullptr) {
         ctx->ClearWakeup();

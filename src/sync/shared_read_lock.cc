@@ -1,6 +1,10 @@
 #include "sync/shared_read_lock.h"
 
+#include <chrono>
+
 #include "base/check.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
 #include "sync/execution_context.h"
 
 namespace sg {
@@ -39,12 +43,15 @@ void SharedReadLock::AcquireRead() {
   while (acccnt_ < 0) {
     ++waitcnt_;
     read_waits_.fetch_add(1, std::memory_order_relaxed);
+    SG_OBS_INC("sharedlock.read_waits");
+    obs::Trace(obs::TraceKind::kLockReadWait);
     SleepOnChannel();
     --waitcnt_;
   }
   ++acccnt_;
   acclck_.Unlock();
   reads_.fetch_add(1, std::memory_order_relaxed);
+  SG_OBS_INC("sharedlock.reads");
 }
 
 void SharedReadLock::ReleaseRead() {
@@ -59,16 +66,28 @@ void SharedReadLock::ReleaseRead() {
 }
 
 void SharedReadLock::AcquireUpdate() {
+  // Writer-wait latency is the paper's §7 cost of shrink/detach: every
+  // update acquisition records entry-to-grant time, so /proc/stat exposes
+  // how long updaters stall behind the reader population.
+  const auto t0 = std::chrono::steady_clock::now();
   acclck_.Lock();
   while (acccnt_ != 0) {
     ++waitcnt_;
     update_waits_.fetch_add(1, std::memory_order_relaxed);
+    SG_OBS_INC("sharedlock.update_waits");
+    obs::Trace(obs::TraceKind::kLockUpdateWait);
     SleepOnChannel();
     --waitcnt_;
   }
   acccnt_ = -1;
   acclck_.Unlock();
   updates_.fetch_add(1, std::memory_order_relaxed);
+  SG_OBS_INC("sharedlock.updates");
+  static obs::LatencyHisto& wait_histo =
+      obs::Stats::Global().histo("sharedlock.update_wait_ns");
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  wait_histo.Record(
+      static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()));
 }
 
 bool SharedReadLock::TryAcquireUpdate() {
@@ -80,6 +99,7 @@ bool SharedReadLock::TryAcquireUpdate() {
   acccnt_ = -1;
   acclck_.Unlock();
   updates_.fetch_add(1, std::memory_order_relaxed);
+  SG_OBS_INC("sharedlock.updates");
   return true;
 }
 

@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "base/types.h"
+#include "obs/stats.h"
 
 namespace sg {
 
@@ -40,6 +41,7 @@ class Spinlock {
       // quantum would stall everyone (a real multiprocessor never sees
       // this: the holder runs concurrently).
       contended_.fetch_add(1, std::memory_order_relaxed);
+      SG_OBS_INC("sync.spin_contended");
       u32 spins = 0;
       while (flag_.load(std::memory_order_relaxed)) {
         CpuRelax();

@@ -3,6 +3,8 @@
 #include <optional>
 
 #include "base/log.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
 #include "sync/shared_read_lock.h"
 #include "vm/pager.h"
 
@@ -31,6 +33,8 @@ namespace {
 
 Status HandleFaultOnce(AddressSpace& as, vaddr_t va, bool want_write) {
   as.faults.fetch_add(1, std::memory_order_relaxed);
+  SG_OBS_INC("vm.faults");
+  obs::Trace(obs::TraceKind::kPageFault, va, want_write ? 1 : 0);
 
   // §6.2: every scan of the pregion lists runs under the shared read lock;
   // if an updater (sbrk, mmap, shrink, fork, exec) holds it, we block here —
@@ -65,6 +69,8 @@ Status HandleFaultOnce(AddressSpace& as, vaddr_t va, bool want_write) {
   }
   if (res.value().frame_changed) {
     as.cow_breaks.fetch_add(1, std::memory_order_relaxed);
+    SG_OBS_INC("vm.cow_breaks");
+    obs::Trace(obs::TraceKind::kCowBreak, va);
     if (shared_pr && ss != nullptr) {
       // A COW break replaced a frame in the group-visible page table: other
       // members' TLBs may cache the old frame. Drop those entries so their

@@ -27,6 +27,15 @@ namespace sg {
 // memory is exhausted.
 Status HandleFault(AddressSpace& as, vaddr_t va, bool want_write);
 
+// True when a T access is a single instruction on the simulated hardware:
+// a naturally-aligned scalar no wider than a machine word. Such accesses go
+// through std::atomic_ref (relaxed), giving the per-instruction atomicity
+// real hardware provides — a guest word store never tears against a
+// concurrent guest word load, even though neither used the Atomic* API.
+template <typename T>
+inline constexpr bool kSingleInstructionAccess =
+    std::is_scalar_v<T> && sizeof(T) == alignof(T) && sizeof(T) <= sizeof(u64);
+
 // Scalar load/store. T must be trivially copyable; the access must not
 // cross a page boundary (naturally aligned accesses never do).
 template <typename T>
@@ -38,7 +47,12 @@ Result<T> Load(AddressSpace& as, vaddr_t va) {
   T out;
   for (;;) {
     const bool hit = as.tlb().WithEntry(PageOf(va), /*want_write=*/false, [&](pfn_t pfn) {
-      std::memcpy(&out, as.mem().FrameData(pfn) + (va & kPageMask), sizeof(T));
+      std::byte* p = as.mem().FrameData(pfn) + (va & kPageMask);
+      if constexpr (kSingleInstructionAccess<T>) {
+        out = std::atomic_ref<T>(*reinterpret_cast<T*>(p)).load(std::memory_order_relaxed);
+      } else {
+        std::memcpy(&out, p, sizeof(T));
+      }
     });
     if (hit) {
       return out;
@@ -55,7 +69,12 @@ Status Store(AddressSpace& as, vaddr_t va, T value) {
   }
   for (;;) {
     const bool hit = as.tlb().WithEntry(PageOf(va), /*want_write=*/true, [&](pfn_t pfn) {
-      std::memcpy(as.mem().FrameData(pfn) + (va & kPageMask), &value, sizeof(T));
+      std::byte* p = as.mem().FrameData(pfn) + (va & kPageMask);
+      if constexpr (kSingleInstructionAccess<T>) {
+        std::atomic_ref<T>(*reinterpret_cast<T*>(p)).store(value, std::memory_order_relaxed);
+      } else {
+        std::memcpy(p, &value, sizeof(T));
+      }
     });
     if (hit) {
       return Status::Ok();

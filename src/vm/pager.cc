@@ -1,5 +1,7 @@
 #include "vm/pager.h"
 
+#include "obs/stats.h"
+#include "obs/trace.h"
 #include "sync/shared_read_lock.h"
 
 namespace sg {
@@ -29,6 +31,10 @@ u64 ReclaimPages(AddressSpace& as, u64 target) {
       stolen += pr->region->StealPages(
           target - stolen, [&](u64 idx) { ss->FlushPageAllMembers(vpn0 + idx); });
     }
+  }
+  if (stolen > 0) {
+    SG_OBS_ADD("vm.pager_steals", stolen);
+    obs::Trace(obs::TraceKind::kPagerSteal, stolen);
   }
   return stolen;
 }

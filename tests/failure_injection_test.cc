@@ -125,7 +125,8 @@ TEST(Failure, SystemFileTableExhaustion) {
 
 TEST(Failure, InodeTableExhaustion) {
   BootParams bp;
-  bp.max_inodes = 6;  // root + 5
+  bp.max_inodes = 6;           // root + 5
+  bp.mount_procfs = false;     // /proc would eat into the tiny budget
   Kernel k(bp);
   RunAsProcess(k, [&](Env& env) {
     int created = 0;

@@ -21,7 +21,7 @@ TEST(Scheduler, BoundsConcurrency) {
   for (int i = 0; i < 6; ++i) {
     ts.emplace_back([&] {
       for (int n = 0; n < 500; ++n) {
-        sched.AcquireCpu(0);
+        const u32 cpu = sched.AcquireCpu(0);
         const int now = inside.fetch_add(1) + 1;
         if (now > 2) {
           violated = true;
@@ -34,7 +34,7 @@ TEST(Scheduler, BoundsConcurrency) {
           CpuRelax();
         }
         inside.fetch_sub(1);
-        sched.ReleaseCpu();
+        sched.ReleaseCpu(cpu);
       }
     });
   }
@@ -48,23 +48,23 @@ TEST(Scheduler, BoundsConcurrency) {
 
 TEST(Scheduler, HigherPriorityWinsTheSlot) {
   Scheduler sched(1);
-  sched.AcquireCpu(0);  // hold the only CPU
+  const u32 held = sched.AcquireCpu(0);  // hold the only CPU
   std::atomic<int> order{0};
   std::atomic<int> low_rank{0};
   std::atomic<int> high_rank{0};
   std::thread low([&] {
-    sched.AcquireCpu(1);
+    const u32 c = sched.AcquireCpu(1);
     low_rank = order.fetch_add(1) + 1;
-    sched.ReleaseCpu();
+    sched.ReleaseCpu(c);
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(10));  // low queues first
   std::thread high([&] {
-    sched.AcquireCpu(10);
+    const u32 c = sched.AcquireCpu(10);
     high_rank = order.fetch_add(1) + 1;
-    sched.ReleaseCpu();
+    sched.ReleaseCpu(c);
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  sched.ReleaseCpu();
+  sched.ReleaseCpu(held);
   low.join();
   high.join();
   EXPECT_LT(high_rank.load(), low_rank.load());  // high went first despite queuing later
@@ -72,11 +72,11 @@ TEST(Scheduler, HigherPriorityWinsTheSlot) {
 
 TEST(Scheduler, YieldIsNoopWithoutWaiters) {
   Scheduler sched(2);
-  sched.AcquireCpu(0);
+  u32 cpu = sched.AcquireCpu(0);
   const u64 switches = sched.ContextSwitches();
-  sched.Yield(0);
+  cpu = sched.Yield(0, cpu);
   EXPECT_EQ(sched.ContextSwitches(), switches);
-  sched.ReleaseCpu();
+  sched.ReleaseCpu(cpu);
 }
 
 TEST(Scheduler, SingleCpuKernelMakesProgress) {
