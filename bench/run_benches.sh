@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Runs every bench binary and concatenates their JSON lines into one file,
+# so each PR can commit a BENCH_<pr>.json point on the perf trajectory:
+#
+#   bench/run_benches.sh [build-dir] [out-file] [extra benchmark args...]
+#   bench/run_benches.sh build BENCH_2.json --benchmark_min_time=0.1
+#
+# Every bench binary already prints one machine-readable JSON line per run
+# (bench_util.h JsonLineReporter); this script just collects them. Bench
+# binaries that fail abort the whole run (a perf point with silent holes is
+# worse than none).
+set -euo pipefail
+
+build_dir=${1:-build}
+out=${2:-BENCH_local.json}
+shift $(( $# > 2 ? 2 : $# ))
+
+if ! ls "${build_dir}"/bench/bench_* >/dev/null 2>&1; then
+  echo "no bench binaries under ${build_dir}/bench — build first:" >&2
+  echo "  cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
+  exit 1
+fi
+
+tmp=$(mktemp)
+trap 'rm -f "${tmp}"' EXIT
+
+for b in "${build_dir}"/bench/bench_*; do
+  [ -x "${b}" ] || continue
+  echo "== $(basename "${b}")" >&2
+  # The console reporter's color resets land at the start of the next line
+  # (even piped — it is constructed with OO_ColorTabular), so strip ANSI
+  # escapes before the anchored grep.
+  "${b}" "$@" | sed -e $'s/\x1b\\[[0-9;]*m//g' | grep '^{"bench"' >> "${tmp}"
+done
+
+mv "${tmp}" "${out}"
+trap - EXIT
+echo "wrote $(wc -l < "${out}") bench results to ${out}" >&2

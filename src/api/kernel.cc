@@ -73,10 +73,14 @@ std::vector<obs::GroupStatus> Kernel::SnapshotGroups() {
       g.refcnt = owned->refcnt();
       owned->ForEachMember([&](Proc& m) { g.members.push_back(m.pid); });
       const SharedReadLock& lk = owned->space().lock();
+      g.lock_name = lk.name();
       g.lock_reads = lk.reads();
+      g.lock_read_slow = lk.read_slow();
       g.lock_updates = lk.updates();
       g.lock_read_waits = lk.read_waits();
       g.lock_update_waits = lk.update_waits();
+      g.lock_update_wait_count = lk.update_wait_histo().count();
+      g.lock_update_wait_sum_ns = lk.update_wait_histo().sum_ns();
       g.ofiles = owned->OfileCount();
       out.push_back(std::move(g));
     }

@@ -92,10 +92,7 @@ Status Kernel::Msync(Proc& p, vaddr_t base) {
     if (ss != nullptr) {
       guard.emplace(ss->lock());
     }
-    Pregion* pr = p.as.FindPrivate(base);
-    if (pr == nullptr && ss != nullptr) {
-      pr = ss->Find(base);
-    }
+    Pregion* pr = p.as.FindPregionFast(base, /*out_shared=*/nullptr);
     if (pr != nullptr && pr->base == base && pr->region->NeedsWriteBack()) {
       st = pr->region->WriteBack();
     }

@@ -1,5 +1,7 @@
 #include "core/shaddr.h"
 
+#include <string>
+
 #include "base/check.h"
 #include "core/share_mask.h"
 #include "sync/shared_read_lock.h"
@@ -27,6 +29,7 @@ ShaddrBlock::ShaddrBlock(Proc& creator, CpuSet& cpus, Vfs& vfs)
   // moved to the list of pregions in the shared address block"). Nobody
   // else can see the block yet, so no locking.
   auto& priv = creator.as.private_pregions();
+  creator.as.InvalidatePrivateHint();  // the list is about to lose entries
   for (auto it = priv.begin(); it != priv.end();) {
     if (Sharable(**it)) {
       if ((*it)->base >= kArenaBase) {
@@ -39,6 +42,9 @@ ShaddrBlock::ShaddrBlock(Proc& creator, CpuSet& cpus, Vfs& vfs)
     }
   }
   creator.as.set_shared(&space_);
+  // Per-group lock stats: /proc/stat grows sharedlock.group<id>.* lines and
+  // /proc/share/<id> reports this lock, not just the process-wide aggregate.
+  space_.lock().SetName("group" + std::to_string(id_));
   space_.AddMemberTlb(&creator.as.tlb());
 
   // Seed the master resource copies, bumping the block's own references.

@@ -17,7 +17,7 @@ Tlb::Tlb(u32 entries) : nentries_(entries) {
 TlbProbe Tlb::Probe(u64 vpn, bool want_write) {
   SpinGuard g(lock_);
   Entry& e = entries_[SlotFor(vpn)];
-  if (!e.valid || e.vpn != vpn) {
+  if (!Live(e) || e.vpn != vpn) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     SG_OBS_INC("tlb.misses");
     return TlbProbe{TlbProbe::Kind::kMiss, 0};
@@ -35,17 +35,34 @@ TlbProbe Tlb::Probe(u64 vpn, bool want_write) {
 void Tlb::Insert(u64 vpn, pfn_t pfn, bool writable) {
   SpinGuard g(lock_);
   Entry& e = entries_[SlotFor(vpn)];
+  if (!Live(e)) {
+    ++live_count_;  // replacing a stale/empty slot brings a new live entry
+  }
   e.vpn = vpn;
   e.pfn = pfn;
+  e.gen = flush_gen_;
   e.valid = true;
   e.writable = writable;
 }
 
+void Tlb::Invalidate(Entry& e) {
+  e.valid = false;
+  SG_DCHECK(live_count_ > 0);
+  --live_count_;
+  flushed_entries_.fetch_add(1, std::memory_order_relaxed);
+  SG_OBS_INC("tlb.flushed_entries");
+}
+
 void Tlb::FlushAll() {
+  // O(1): advance the generation; every entry stamped with the old one is
+  // now dead. Taking the spinlock (even briefly) means any in-flight
+  // WithEntry access completed before this flush returns — the synchronous
+  // shootdown guarantee of §6.2 is preserved without the O(entries) scan.
   SpinGuard g(lock_);
-  for (Entry& e : entries_) {
-    e.valid = false;
-  }
+  ++flush_gen_;
+  flushed_entries_.fetch_add(live_count_, std::memory_order_relaxed);
+  SG_OBS_ADD("tlb.flushed_entries", live_count_);
+  live_count_ = 0;
   flushes_.fetch_add(1, std::memory_order_relaxed);
   SG_OBS_INC("tlb.flushes");
 }
@@ -53,8 +70,8 @@ void Tlb::FlushAll() {
 void Tlb::FlushPage(u64 vpn) {
   SpinGuard g(lock_);
   Entry& e = entries_[SlotFor(vpn)];
-  if (e.valid && e.vpn == vpn) {
-    e.valid = false;
+  if (Live(e) && e.vpn == vpn) {
+    Invalidate(e);
   }
   flushes_.fetch_add(1, std::memory_order_relaxed);
   SG_OBS_INC("tlb.flushes");
@@ -63,8 +80,8 @@ void Tlb::FlushPage(u64 vpn) {
 void Tlb::FlushRange(u64 vpn_begin, u64 vpn_end) {
   SpinGuard g(lock_);
   for (Entry& e : entries_) {
-    if (e.valid && e.vpn >= vpn_begin && e.vpn < vpn_end) {
-      e.valid = false;
+    if (Live(e) && e.vpn >= vpn_begin && e.vpn < vpn_end) {
+      Invalidate(e);
     }
   }
   flushes_.fetch_add(1, std::memory_order_relaxed);

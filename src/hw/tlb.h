@@ -11,6 +11,14 @@
 // Each simulated process owns one Tlb (its translation context on whichever
 // processor runs it); a cross-processor shootdown is modelled by flushing
 // the Tlbs of all affected processes (see CpuSet::SynchronousFlush).
+//
+// FlushAll is O(1): instead of scanning and clearing every entry under the
+// TLB spinlock, it bumps a flush generation; Probe/WithEntry/Insert treat
+// an entry stamped with an older generation as invalid (lazy
+// invalidation). The flush still takes (and immediately releases) the
+// spinlock so an in-flight WithEntry access strictly orders before the
+// flush returns — the same translate-and-access atomicity as before, but a
+// shootdown IPI now costs O(1) per member instead of O(entries).
 #ifndef SRC_HW_TLB_H_
 #define SRC_HW_TLB_H_
 
@@ -57,7 +65,7 @@ class Tlb {
   bool WithEntry(u64 vpn, bool want_write, Fn&& fn) {
     SpinGuard g(lock_);
     Entry& e = entries_[SlotFor(vpn)];
-    if (!e.valid || e.vpn != vpn || (want_write && !e.writable)) {
+    if (!Live(e) || e.vpn != vpn || (want_write && !e.writable)) {
       misses_.fetch_add(1, std::memory_order_relaxed);
       SG_OBS_INC("tlb.misses");
       return false;
@@ -70,32 +78,53 @@ class Tlb {
   // Installs (or replaces) the translation for `vpn`.
   void Insert(u64 vpn, pfn_t pfn, bool writable);
 
-  // Invalidation. FlushAll is what a cross-processor shootdown delivers.
+  // Invalidation. FlushAll is what a cross-processor shootdown delivers;
+  // it is O(1) (generation bump, see file comment).
   void FlushAll();
   void FlushPage(u64 vpn);
   void FlushRange(u64 vpn_begin, u64 vpn_end);  // [begin, end)
 
   u64 hits() const { return hits_.load(std::memory_order_relaxed); }
   u64 misses() const { return misses_.load(std::memory_order_relaxed); }
+  // Flush *operations* (every FlushAll/FlushPage/FlushRange call) vs
+  // entries actually invalidated — a FlushPage of an absent translation
+  // performs work-free, and the split keeps /proc/stat's view of shootdown
+  // cost honest ("tlb.flushes" / "tlb.flushed_entries").
   u64 flushes() const { return flushes_.load(std::memory_order_relaxed); }
+  u64 flushed_entries() const { return flushed_entries_.load(std::memory_order_relaxed); }
 
  private:
   struct Entry {
     u64 vpn = 0;
     pfn_t pfn = 0;
+    u64 gen = 0;  // flush generation the entry was installed under
     bool valid = false;
     bool writable = false;
   };
 
+  // An entry counts only if it was installed under the current flush
+  // generation. Caller holds lock_.
+  bool Live(const Entry& e) const { return e.valid && e.gen == flush_gen_; }
+
   u32 SlotFor(u64 vpn) const { return static_cast<u32>(vpn) & (nentries_ - 1); }
+
+  // Invalidates `e` (already checked Live). Caller holds lock_.
+  void Invalidate(Entry& e);
 
   u32 nentries_;  // power of two; direct-mapped by low vpn bits
   std::vector<Entry> entries_;
   Spinlock lock_;  // owner thread probes/inserts; shootdowns flush remotely
 
+  // Guarded by lock_. flush_gen_ advances on every FlushAll; live_count_
+  // tracks entries live under the current generation so FlushAll can
+  // account flushed entries without scanning.
+  u64 flush_gen_ = 0;
+  u32 live_count_ = 0;
+
   std::atomic<u64> hits_{0};
   std::atomic<u64> misses_{0};
   std::atomic<u64> flushes_{0};
+  std::atomic<u64> flushed_entries_{0};
 };
 
 }  // namespace sg

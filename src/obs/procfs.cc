@@ -195,10 +195,19 @@ std::string Procfs::RenderGroup(u64 gid) const {
     }
     out += '\n';
     out += "ofiles " + std::to_string(g.ofiles) + '\n';
+    if (!g.lock_name.empty()) {
+      out += "lock.name " + g.lock_name + '\n';
+    }
     out += "lock.reads " + std::to_string(g.lock_reads) + '\n';
+    out += "lock.read_slow " + std::to_string(g.lock_read_slow) + '\n';
     out += "lock.updates " + std::to_string(g.lock_updates) + '\n';
     out += "lock.read_waits " + std::to_string(g.lock_read_waits) + '\n';
     out += "lock.update_waits " + std::to_string(g.lock_update_waits) + '\n';
+    out += "lock.update_wait.count " + std::to_string(g.lock_update_wait_count) + '\n';
+    const u64 avg = g.lock_update_wait_count == 0
+                        ? 0
+                        : g.lock_update_wait_sum_ns / g.lock_update_wait_count;
+    out += "lock.update_wait.avg_ns " + std::to_string(avg) + '\n';
     return out;
   }
   return "gone\n";

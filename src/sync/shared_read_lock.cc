@@ -9,20 +9,76 @@
 
 namespace sg {
 
-void SharedReadLock::SleepOnChannel() {
+namespace {
+u64 NowNsSince(std::chrono::steady_clock::time_point t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count());
+}
+}  // namespace
+
+namespace {
+// Threads are striped across the slots round-robin at first use; the
+// index is process-global so every lock hashes a given thread to the same
+// slot (release must decrement what acquire incremented). Constant-
+// initialized with a sentinel rather than dynamically initialized so the
+// fast-path access is a plain TLS load with no init-guard check.
+constexpr u32 kSlotUnassigned = ~u32{0};
+thread_local u32 tl_slot = kSlotUnassigned;
+
+u32 AssignSlot() {
+  static std::atomic<u32> next{0};
+  tl_slot = next.fetch_add(1, std::memory_order_relaxed);
+  return tl_slot;
+}
+}  // namespace
+
+u32 SharedReadLock::SlotIndex() {
+  u32 idx = tl_slot;
+  if (idx == kSlotUnassigned) {
+    idx = AssignSlot();
+  }
+  return idx & (kSlots - 1);
+}
+
+i64 SharedReadLock::SumActive() const {
+  i64 sum = 0;
+  for (const Slot& s : slots_) {
+    sum += static_cast<i64>(s.state.load(std::memory_order_seq_cst) & kActiveMask);
+  }
+  return sum;
+}
+
+u64 SharedReadLock::reads() const {
+  u64 sum = 0;
+  for (const Slot& s : slots_) {
+    sum += s.state.load(std::memory_order_relaxed) >> kActiveBits;
+  }
+  return sum;
+}
+
+void SharedReadLock::SetName(std::string_view name) {
+  name_ = name;
+  const std::string prefix = "sharedlock." + name_ + ".";
+  obs::Stats& stats = obs::Stats::Global();
+  named_updates_ = &stats.counter(prefix + "updates");
+  named_update_waits_ = &stats.counter(prefix + "update_waits");
+  named_wait_histo_ = &stats.histo(prefix + "update_wait_ns");
+}
+
+void SharedReadLock::SleepUntilReleased() {
   // Caller holds acclck_ and has already incremented waitcnt_.
   ExecutionContext* ctx = CurrentExecutionContext();
   {
     std::unique_lock<std::mutex> cl(chan_m_);
-    const u64 gen = chan_gen_;
-    // Release the spinlock only after chan_m_ is held: a releaser must take
-    // acclck_ (still ours) before deciding to wake, and must take chan_m_
-    // to bump the generation, so the wakeup cannot be lost.
+    const u64 gen = release_gen_;
+    // Release the spinlock only after chan_m_ is held: ReleaseUpdate clears
+    // writer_claimed_ under acclck_ (which we still hold) and must then take
+    // chan_m_ to bump the generation, so the wakeup cannot be lost.
     acclck_.Unlock();
     if (ctx != nullptr) {
       ctx->WillBlock();
     }
-    chan_cv_.wait(cl, [&] { return chan_gen_ != gen; });
+    release_cv_.wait(cl, [&] { return release_gen_ != gen; });
   }
   if (ctx != nullptr) {
     ctx->DidWake();  // may block for a CPU; no internal mutex held
@@ -30,39 +86,88 @@ void SharedReadLock::SleepOnChannel() {
   acclck_.Lock();
 }
 
-void SharedReadLock::WakeChannel() {
+void SharedReadLock::WakeReleased() {
   {
     std::lock_guard<std::mutex> cl(chan_m_);
-    ++chan_gen_;
+    ++release_gen_;
   }
-  chan_cv_.notify_all();
+  release_cv_.notify_all();
+}
+
+void SharedReadLock::WakeDrain() {
+  {
+    std::lock_guard<std::mutex> cl(chan_m_);
+    ++drain_gen_;
+  }
+  drain_cv_.notify_all();
+}
+
+u64 SharedReadLock::DrainGen() {
+  std::lock_guard<std::mutex> cl(chan_m_);
+  return drain_gen_;
+}
+
+void SharedReadLock::WaitDrainChangedFrom(u64 gen) {
+  ExecutionContext* ctx = CurrentExecutionContext();
+  bool blocked = false;
+  {
+    std::unique_lock<std::mutex> cl(chan_m_);
+    if (drain_gen_ == gen) {
+      blocked = true;
+      if (ctx != nullptr) {
+        ctx->WillBlock();
+      }
+      drain_cv_.wait(cl, [&] { return drain_gen_ != gen; });
+    }
+  }
+  if (blocked && ctx != nullptr) {
+    ctx->DidWake();
+  }
 }
 
 void SharedReadLock::AcquireRead() {
+  Slot& slot = slots_[SlotIndex()];
+  // One RMW: raise the active count and (optimistically) the grant
+  // statistic together. The only shared state touched after it is a load
+  // of the (rarely written) intent flag.
+  slot.state.fetch_add(kGrantOne | kActiveOne, std::memory_order_seq_cst);
+  if (!writer_intent_.load(std::memory_order_seq_cst)) {
+    return;
+  }
+  // A writer holds the lock or is draining readers: back the increment out
+  // (grant included — this acquisition was not granted) and queue behind
+  // it, so updaters are never starved by a reader stream.
+  slot.state.fetch_sub(kGrantOne | kActiveOne, std::memory_order_seq_cst);
+  WakeDrain();  // the writer may be drain-waiting on our transient count
+  AcquireReadSlow(slot);
+}
+
+void SharedReadLock::AcquireReadSlow(Slot& slot) {
   acclck_.Lock();
-  while (acccnt_ < 0) {
+  while (writer_claimed_) {
     ++waitcnt_;
     read_waits_.fetch_add(1, std::memory_order_relaxed);
     SG_OBS_INC("sharedlock.read_waits");
     obs::Trace(obs::TraceKind::kLockReadWait);
-    SleepOnChannel();
+    SleepUntilReleased();
     --waitcnt_;
   }
-  ++acccnt_;
+  // Enter while holding acclck_: the next writer must take acclck_ to
+  // claim, which orders after our release, so its drain sum sees this
+  // increment.
+  slot.state.fetch_add(kGrantOne | kActiveOne, std::memory_order_seq_cst);
+  read_slow_.fetch_add(1, std::memory_order_relaxed);
   acclck_.Unlock();
-  reads_.fetch_add(1, std::memory_order_relaxed);
-  SG_OBS_INC("sharedlock.reads");
 }
 
 void SharedReadLock::ReleaseRead() {
-  acclck_.Lock();
-  SG_DCHECK(acccnt_ > 0);
-  --acccnt_;
-  const bool wake = (acccnt_ == 0 && waitcnt_ > 0);
-  if (wake) {
-    WakeChannel();
+  Slot& slot = slots_[SlotIndex()];
+  slot.state.fetch_sub(kActiveOne, std::memory_order_seq_cst);
+  if (writer_intent_.load(std::memory_order_seq_cst)) {
+    // Seq_cst pairing mirrors the acquire side: either our decrement lands
+    // before the writer's drain sum, or we see its intent and wake it.
+    WakeDrain();
   }
-  acclck_.Unlock();
 }
 
 void SharedReadLock::AcquireUpdate() {
@@ -70,47 +175,92 @@ void SharedReadLock::AcquireUpdate() {
   // update acquisition records entry-to-grant time, so /proc/stat exposes
   // how long updaters stall behind the reader population.
   const auto t0 = std::chrono::steady_clock::now();
+
   acclck_.Lock();
-  while (acccnt_ != 0) {
+  while (writer_claimed_) {
     ++waitcnt_;
     update_waits_.fetch_add(1, std::memory_order_relaxed);
     SG_OBS_INC("sharedlock.update_waits");
+    if (named_update_waits_ != nullptr) {
+      named_update_waits_->Inc();
+    }
     obs::Trace(obs::TraceKind::kLockUpdateWait);
-    SleepOnChannel();
+    SleepUntilReleased();
     --waitcnt_;
   }
-  acccnt_ = -1;
+  writer_claimed_ = true;
+  writer_intent_.store(true, std::memory_order_seq_cst);
   acclck_.Unlock();
+
+  // Drain the in-flight readers. New readers see writer_intent_ and back
+  // out; each release (or back-out) with the flag up bumps the drain
+  // generation, and the generation is snapshotted BEFORE the sum, so a
+  // decrement-to-zero between the sum and the sleep is never lost.
+  for (;;) {
+    const u64 gen = DrainGen();
+    if (SumActive() == 0) {
+      break;
+    }
+    update_waits_.fetch_add(1, std::memory_order_relaxed);
+    SG_OBS_INC("sharedlock.update_waits");
+    if (named_update_waits_ != nullptr) {
+      named_update_waits_->Inc();
+    }
+    obs::Trace(obs::TraceKind::kLockUpdateWait);
+    WaitDrainChangedFrom(gen);
+  }
+
   updates_.fetch_add(1, std::memory_order_relaxed);
   SG_OBS_INC("sharedlock.updates");
-  static obs::LatencyHisto& wait_histo =
+  if (named_updates_ != nullptr) {
+    named_updates_->Inc();
+  }
+  static obs::LatencyHisto& global_wait_histo =
       obs::Stats::Global().histo("sharedlock.update_wait_ns");
-  const auto dt = std::chrono::steady_clock::now() - t0;
-  wait_histo.Record(
-      static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()));
+  const u64 wait_ns = NowNsSince(t0);
+  global_wait_histo.Record(wait_ns);
+  wait_histo_.Record(wait_ns);
+  if (named_wait_histo_ != nullptr) {
+    named_wait_histo_->Record(wait_ns);
+  }
 }
 
 bool SharedReadLock::TryAcquireUpdate() {
   acclck_.Lock();
-  if (acccnt_ != 0) {
+  if (writer_claimed_) {
     acclck_.Unlock();
     return false;
   }
-  acccnt_ = -1;
+  writer_claimed_ = true;
+  writer_intent_.store(true, std::memory_order_seq_cst);
+  if (SumActive() != 0) {
+    // Readers in flight: undo. A fast-path reader that backed out because
+    // of our transient intent is spinning on acclck_ (still ours) and will
+    // re-enter as soon as we release — no sleeper to wake.
+    writer_claimed_ = false;
+    writer_intent_.store(false, std::memory_order_seq_cst);
+    acclck_.Unlock();
+    return false;
+  }
   acclck_.Unlock();
   updates_.fetch_add(1, std::memory_order_relaxed);
   SG_OBS_INC("sharedlock.updates");
+  if (named_updates_ != nullptr) {
+    named_updates_->Inc();
+  }
   return true;
 }
 
 void SharedReadLock::ReleaseUpdate() {
   acclck_.Lock();
-  SG_DCHECK(acccnt_ == -1);
-  acccnt_ = 0;
-  if (waitcnt_ > 0) {
-    WakeChannel();
-  }
+  SG_DCHECK(writer_claimed_);
+  writer_claimed_ = false;
+  writer_intent_.store(false, std::memory_order_seq_cst);
+  const bool wake = waitcnt_ > 0;
   acclck_.Unlock();
+  if (wake) {
+    WakeReleased();
+  }
 }
 
 }  // namespace sg

@@ -46,13 +46,10 @@ Status HandleFaultOnce(AddressSpace& as, vaddr_t va, bool want_write) {
     guard.emplace(ss->lock());
   }
 
-  // Private pregions first, then the group's shared list.
-  Pregion* pr = as.FindPrivate(va);
+  // Private pregions first, then the group's shared list — through the
+  // last-hit hint cache, so the common fault-cluster case skips both walks.
   bool shared_pr = false;
-  if (pr == nullptr && ss != nullptr) {
-    pr = ss->Find(va);
-    shared_pr = (pr != nullptr);
-  }
+  Pregion* pr = as.FindPregionFast(va, &shared_pr);
   if (pr == nullptr) {
     return Errno::kEFAULT;
   }

@@ -1,12 +1,62 @@
 #include "vm/address_space.h"
 
+#include "obs/stats.h"
+
 namespace sg {
+
+namespace {
+void SetShared(bool* out_shared, bool v) {
+  if (out_shared != nullptr) {
+    *out_shared = v;
+  }
+}
+}  // namespace
+
+Pregion* AddressSpace::FindPregionFast(vaddr_t va, bool* out_shared) {
+  // Private side first — hint, then walk — so a private page (PRDA,
+  // privately shadowed data) always wins over the shared image. The
+  // private list of a sharing member is tiny (PRDA + perhaps a shadowed
+  // region), so the walk is cheap even on a hint miss.
+  if (hint_private_ != nullptr && hint_private_->Contains(va)) {
+    SG_OBS_INC("vm.lookup_hint_hits");
+    SetShared(out_shared, false);
+    return hint_private_;
+  }
+  if (Pregion* pr = FindPrivate(va); pr != nullptr) {
+    SG_OBS_INC("vm.lookup_walks");
+    hint_private_ = pr;
+    SetShared(out_shared, false);
+    return pr;
+  }
+  if (shared_ != nullptr) {
+    // Shared hint: valid only while no update acquisition has happened
+    // since it was recorded (we hold the read lock, so the generation
+    // cannot move underneath this check).
+    if (hint_shared_ != nullptr && hint_shared_gen_ == shared_->generation() &&
+        hint_shared_->Contains(va)) {
+      SG_OBS_INC("vm.lookup_hint_hits");
+      SetShared(out_shared, true);
+      return hint_shared_;
+    }
+    if (Pregion* pr = shared_->Find(va); pr != nullptr) {
+      SG_OBS_INC("vm.lookup_walks");
+      hint_shared_ = pr;
+      hint_shared_gen_ = shared_->generation();
+      SetShared(out_shared, true);
+      return pr;
+    }
+  }
+  SG_OBS_INC("vm.lookup_walks");
+  SetShared(out_shared, false);
+  return nullptr;
+}
 
 bool AddressSpace::DetachPrivate(vaddr_t base) {
   for (auto it = private_.begin(); it != private_.end(); ++it) {
     if ((*it)->base == base) {
       const u64 pages = (*it)->region->pages();
       tlb_.FlushRange(PageOf(base), PageOf(base) + pages);
+      InvalidatePrivateHint();
       private_.erase(it);
       return true;
     }
@@ -15,6 +65,7 @@ bool AddressSpace::DetachPrivate(vaddr_t base) {
 }
 
 void AddressSpace::DetachAllPrivate() {
+  InvalidatePrivateHint();
   private_.clear();
   tlb_.FlushAll();
 }

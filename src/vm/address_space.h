@@ -37,7 +37,13 @@ class AddressSpace {
   Tlb& tlb() { return tlb_; }
 
   SharedSpace* shared() { return shared_; }
-  void set_shared(SharedSpace* s) { shared_ = s; }
+  void set_shared(SharedSpace* s) {
+    shared_ = s;
+    // A hint recorded against a previous shared space could collide with
+    // the new space's generation numbering; never carry it across.
+    hint_shared_ = nullptr;
+    hint_shared_gen_ = 0;
+  }
 
   std::vector<std::unique_ptr<Pregion>>& private_pregions() { return private_; }
 
@@ -53,6 +59,25 @@ class AddressSpace {
     }
     return nullptr;
   }
+
+  // Fault-path lookup with a last-hit hint cache (the IRIX p_pregion /
+  // Linux vmacache idiom): page faults cluster, so the pregion that
+  // resolved the last fault almost always resolves the next one and the
+  // list walks are skipped entirely. Private precedence is preserved — the
+  // private hint and private list are always consulted before anything
+  // shared, so a private page still shadows the shared image (§6.2).
+  // `*out_shared` (may be null) is set when the result lives on the
+  // shared list. The
+  // caller holds the shared read lock if a shared space is attached; the
+  // shared hint revalidates against SharedSpace::generation(), the private
+  // hint against the owner-thread-only private list (see
+  // InvalidatePrivateHint).
+  Pregion* FindPregionFast(vaddr_t va, bool* out_shared);
+
+  // Drops the private-list hint. Must be called by every path that erases
+  // a private pregion (detach, exec teardown, share-group formation moving
+  // pregions onto the shared list).
+  void InvalidatePrivateHint() { hint_private_ = nullptr; }
 
   // Finds a pregion by region type, scanning private then shared. The
   // caller holds the shared lock if a shared space is attached.
@@ -99,6 +124,14 @@ class AddressSpace {
   SharedSpace* shared_ = nullptr;
   std::vector<std::unique_ptr<Pregion>> private_;
   VaAllocator va_;
+
+  // Last-hit lookup hints (owner thread only, like the private list).
+  // hint_shared_ is trusted only while the shared space's generation still
+  // equals hint_shared_gen_ — any update acquisition advances it, so a
+  // pointer into an erased pregion is rejected before it is dereferenced.
+  Pregion* hint_private_ = nullptr;
+  Pregion* hint_shared_ = nullptr;
+  u64 hint_shared_gen_ = 0;
 };
 
 }  // namespace sg

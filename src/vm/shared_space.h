@@ -33,6 +33,13 @@ class SharedSpace {
   // region resize, or a member TLB registry change.
   SharedReadLock& lock() { return lock_; }
 
+  // Update generation: advances on every update acquisition of the lock,
+  // i.e. before any pregion-list/VA mutation can begin. A Pregion* cached
+  // by a member (AddressSpace's lookup hint) while holding the read lock
+  // is still live iff the generation it was recorded under is unchanged —
+  // erasure requires the update side, which bumps this first.
+  u64 generation() const { return lock_.updates(); }
+
   // The shared pregion list. Scans and edits require the lock (see above).
   std::vector<std::unique_ptr<Pregion>>& pregions() { return pregions_; }
 

@@ -134,6 +134,64 @@ TEST(Tlb, WithEntryPinsTranslation) {
   EXPECT_TRUE(tlb.WithEntry(9, false, [](pfn_t) {}));
 }
 
+TEST(Tlb, GenerationFlushInvalidatesLazily) {
+  // FlushAll is a generation bump, not a scan: entries installed before the
+  // flush must read as dead, entries installed after must be live, and a
+  // pre-flush entry must not resurrect a post-flush probe of the same slot.
+  Tlb tlb(64);
+  tlb.Insert(4, 40, true);
+  tlb.Insert(5, 50, true);
+  tlb.FlushAll();
+  EXPECT_EQ(tlb.Probe(4, false).kind, TlbProbe::Kind::kMiss);
+  EXPECT_EQ(tlb.Probe(5, false).kind, TlbProbe::Kind::kMiss);
+  EXPECT_FALSE(tlb.WithEntry(4, false, [](pfn_t) { FAIL(); }));
+  // Reinstall after the flush: stamped with the new generation, so it hits.
+  tlb.Insert(4, 41, true);
+  EXPECT_EQ(tlb.Probe(4, false).pfn, 41u);
+  // A second flush kills the reinstalled entry too.
+  tlb.FlushAll();
+  EXPECT_EQ(tlb.Probe(4, false).kind, TlbProbe::Kind::kMiss);
+}
+
+TEST(Tlb, FlushOpsVsFlushedEntriesSplit) {
+  Tlb tlb(64);
+  const u64 ops0 = tlb.flushes();
+  const u64 ent0 = tlb.flushed_entries();
+
+  // A flush of an absent translation is one operation, zero entries.
+  tlb.FlushPage(9);
+  EXPECT_EQ(tlb.flushes(), ops0 + 1);
+  EXPECT_EQ(tlb.flushed_entries(), ent0);
+
+  // A flush of a present translation is one operation, one entry.
+  tlb.Insert(9, 90, true);
+  tlb.FlushPage(9);
+  EXPECT_EQ(tlb.flushes(), ops0 + 2);
+  EXPECT_EQ(tlb.flushed_entries(), ent0 + 1);
+
+  // FlushAll counts every live entry exactly once, even though it scans
+  // nothing — and re-inserting into a dead slot keeps the count honest.
+  tlb.Insert(1, 10, true);
+  tlb.Insert(2, 20, true);
+  tlb.Insert(2, 21, true);  // replaces a LIVE entry: no new live count
+  tlb.FlushAll();
+  EXPECT_EQ(tlb.flushes(), ops0 + 3);
+  EXPECT_EQ(tlb.flushed_entries(), ent0 + 3);
+
+  // An empty FlushAll (everything already dead) invalidates nothing.
+  tlb.FlushAll();
+  EXPECT_EQ(tlb.flushes(), ops0 + 4);
+  EXPECT_EQ(tlb.flushed_entries(), ent0 + 3);
+
+  // FlushRange only counts entries it actually killed.
+  tlb.Insert(3, 30, true);
+  tlb.Insert(40, 44, true);
+  tlb.FlushRange(0, 8);  // kills vpn 3, not vpn 40
+  EXPECT_EQ(tlb.flushes(), ops0 + 5);
+  EXPECT_EQ(tlb.flushed_entries(), ent0 + 4);
+  EXPECT_EQ(tlb.Probe(40, false).pfn, 44u);
+}
+
 TEST(Tlb, StatsCount) {
   Tlb tlb(64);
   tlb.Insert(1, 11, true);

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/stats.h"
 #include "sync/barrier.h"
 #include "sync/execution_context.h"
 #include "sync/semaphore.h"
@@ -184,6 +185,87 @@ TEST(SharedReadLock, ReadersDrainBeforeUpdate) {
   up.join();
   EXPECT_TRUE(updated.load());
   EXPECT_GE(lock.update_waits(), 1u);
+}
+
+TEST(SharedReadLock, ReaderBlockedDuringUpdateTakesSlowPath) {
+  SharedReadLock lock;
+  lock.AcquireUpdate();
+  std::atomic<bool> entered{false};
+  std::thread reader([&] {
+    ReadGuard g(lock);
+    entered = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(entered.load());  // the writer holds: reader queued
+  lock.ReleaseUpdate();
+  reader.join();
+  EXPECT_TRUE(entered.load());
+  EXPECT_EQ(lock.reads(), 1u);
+  EXPECT_GE(lock.read_slow(), 1u);   // it entered through the slow path
+  EXPECT_GE(lock.read_waits(), 1u);  // after at least one sleep
+}
+
+// The §6.2 contention shape under stress: a continuous stream of "faulting"
+// readers (they re-acquire as fast as they can, like members refaulting
+// after shootdowns) races a fixed number of updaters. Writer preference
+// must let every updater finish WHILE the reader stream keeps running —
+// if the stream could starve updaters this test never terminates — and
+// the sharded grant/update counters must come out exact.
+TEST(SharedReadLock, UpdatersFinishAgainstContinuousReaderStream) {
+  SharedReadLock lock;
+  std::atomic<bool> stop{false};
+  std::atomic<u64> reader_grants{0};
+  constexpr int kReaders = 6;
+  constexpr int kUpdaters = 2;
+  constexpr int kUpdatesEach = 300;
+
+  std::vector<std::thread> readers;
+  for (int i = 0; i < kReaders; ++i) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        ReadGuard g(lock);
+        reader_grants.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<std::thread> updaters;
+  for (int i = 0; i < kUpdaters; ++i) {
+    updaters.emplace_back([&] {
+      for (int n = 0; n < kUpdatesEach; ++n) {
+        UpdateGuard g(lock);
+      }
+    });
+  }
+  // All updates complete while the readers are still streaming.
+  for (auto& t : updaters) {
+    t.join();
+  }
+  EXPECT_FALSE(stop.load());
+  stop = true;
+  for (auto& t : readers) {
+    t.join();
+  }
+  EXPECT_EQ(lock.updates(), static_cast<u64>(kUpdaters) * kUpdatesEach);
+  // Every grant the readers counted is visible in the sharded slot sums —
+  // no acquisition was lost or double-counted across slots.
+  EXPECT_EQ(lock.reads(), reader_grants.load());
+}
+
+TEST(SharedReadLock, SetNameSurfacesPerLockCounters) {
+  SharedReadLock lock;
+  lock.SetName("synctest0");
+  EXPECT_EQ(lock.name(), "synctest0");
+  const u64 updates0 = obs::Stats::Global().CounterValue("sharedlock.synctest0.updates");
+  {
+    UpdateGuard g(lock);
+  }
+  {
+    UpdateGuard g(lock);
+  }
+  EXPECT_EQ(obs::Stats::Global().CounterValue("sharedlock.synctest0.updates"), updates0 + 2);
+  EXPECT_GE(obs::Stats::Global().HistoCount("sharedlock.synctest0.update_wait_ns"), 2u);
+  // The per-lock histogram recorded both grants too.
+  EXPECT_EQ(lock.update_wait_histo().count(), 2u);
 }
 
 TEST(Barrier, RendezvousAndReuse) {
