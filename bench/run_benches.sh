@@ -21,6 +21,17 @@ if ! ls "${build_dir}"/bench/bench_* >/dev/null 2>&1; then
   exit 1
 fi
 
+# Injection points cost one branch per site even when no plan is active;
+# perf numbers from such a build would not be comparable across PRs. Skip
+# (successfully — CI treats this as "no perf point today") rather than
+# record a tainted one.
+if grep -q '^SG_INJECT:BOOL=ON$' "${build_dir}/CMakeCache.txt" 2>/dev/null; then
+  echo "skipping benches: ${build_dir} was configured with SG_INJECT=ON" >&2
+  echo "reconfigure a bench build first:" >&2
+  echo "  cmake -B ${build_dir} -S . -DSG_INJECT=OFF && cmake --build ${build_dir} -j" >&2
+  exit 0
+fi
+
 tmp=$(mktemp)
 trap 'rm -f "${tmp}"' EXIT
 

@@ -4,6 +4,7 @@
 #include "api/user_env.h"
 #include "base/check.h"
 #include "base/log.h"
+#include "inject/inject.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
 #include "proc/deliver.h"
@@ -170,10 +171,12 @@ void Kernel::TerminateProcess(Proc& p, int status, int signal) {
   // Leave the share group; the last member tears the block down.
   if (p.shaddr != nullptr) {
     ShaddrBlock* b = p.shaddr;
+    SG_INJECT_POINT("kernel.exit.pre_detach");
     if (b->RemoveMember(p)) {
       std::lock_guard<std::mutex> l(blocks_mu_);
       blocks_.erase(b);
     }
+    SG_INJECT_POINT("kernel.exit.post_detach");
   }
   p.as.DetachAllPrivate();
 

@@ -233,8 +233,12 @@ class Kernel {
 
   Cred CredOf(const Proc& p) const { return Cred{p.uid, p.gid}; }
   // The share block to use for fd-table updates, or null if not sharing.
+  // One atomic snapshot of p.shaddr: identity (shaddr + p_shmask) is
+  // published before link and cleared before unlink, so a non-null b with
+  // PR_SFDS set is safe to use here.
   ShaddrBlock* FdBlock(Proc& p) {
-    return (p.shaddr != nullptr && (p.p_shmask & PR_SFDS) != 0) ? p.shaddr : nullptr;
+    ShaddrBlock* b = p.shaddr;
+    return (b != nullptr && (p.p_shmask & PR_SFDS) != 0) ? b : nullptr;
   }
 
   BootParams params_;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "api/kernel.h"
+#include "inject/inject.h"
 #include "obs/stats.h"
 #include "vm/access.h"
 
@@ -21,7 +22,9 @@ Result<int> Kernel::Open(Proc& p, std::string_view path, u32 flags, mode_t mode)
     b->PullFdsIfFlagged(p);
   }
   Result<int> result = Errno::kEINVAL;
-  auto f = vfs_.Open(p.cwd, p.rootdir, CredOf(p), path, flags, mode, p.umask);
+  auto f = SG_INJECT_FAULT("open")
+               ? Result<OpenFile*>(Errno::kENFILE)  // injected: file table full
+               : vfs_.Open(p.cwd, p.rootdir, CredOf(p), path, flags, mode, p.umask);
   if (!f.ok()) {
     result = f.error();
   } else {

@@ -4,6 +4,7 @@
 #include "obs/stats.h"
 #include "api/user_env.h"
 #include "base/check.h"
+#include "inject/inject.h"
 #include "vm/access.h"
 
 namespace sg {
@@ -18,10 +19,14 @@ void Kernel::CreatePrda(AddressSpace& as, PhysMem& mem) {
 }
 
 Status Kernel::AllocStack(Proc& p, bool shared_stack) {
+  if (SG_INJECT_FAULT("alloc.stack")) {
+    return Errno::kENOMEM;  // injected: out of stack VA/frames
+  }
   const u64 pages = p.stack_max_pages;
   if (shared_stack) {
-    SG_CHECK(p.shaddr != nullptr);
-    SharedSpace& ss = p.shaddr->space();
+    ShaddrBlock* b = p.shaddr;
+    SG_CHECK(b != nullptr);
+    SharedSpace& ss = b->space();
     // §6.2: sproc "allocates a new stack segment in a non-overlapping
     // region of the parent's virtual address space"; the list change is a
     // VM-image update.
@@ -71,8 +76,8 @@ Status Kernel::BuildImage(Proc& p, const Image& img) {
 }
 
 void Kernel::InheritUArea(Proc& parent, Proc& child) {
-  child.uid = parent.uid;
-  child.gid = parent.gid;
+  child.uid = parent.uid.load(std::memory_order_relaxed);
+  child.gid = parent.gid.load(std::memory_order_relaxed);
   child.umask = parent.umask;
   child.ulimit = parent.ulimit;
   child.stack_max_pages = parent.stack_max_pages;  // PR_SETSTACKSIZE inherits (§5.2)
@@ -156,7 +161,12 @@ Result<pid_t> Kernel::Sproc(Proc& p, UserFn entry, u32 shmask, long arg) {
     blocks_.emplace(block.get(), std::move(block));
   }
   ShaddrBlock* block = p.shaddr;
+  SG_INJECT_POINT("kernel.sproc.pre_attach");
 
+  if (SG_INJECT_FAULT("sproc.alloc")) {
+    SyscallExit(p);
+    return Errno::kEAGAIN;  // injected: process table pressure
+  }
   auto alloc = procs_.Alloc();
   if (!alloc.ok()) {
     SyscallExit(p);
@@ -219,6 +229,7 @@ Result<pid_t> Kernel::Sproc(Proc& p, UserFn entry, u32 shmask, long arg) {
     bits |= kPfSyncUlimit;
   }
   c->p_flag.fetch_or(bits, std::memory_order_acq_rel);
+  SG_INJECT_POINT("kernel.sproc.post_attach");
 
   StartProcThread(c, std::move(entry), arg);
   SyscallExit(p);
@@ -385,10 +396,12 @@ Status Kernel::Exec(Proc& p, const Image& img, long arg) {
   // secure environment for the new program image."
   if (p.shaddr != nullptr) {
     ShaddrBlock* b = p.shaddr;
+    SG_INJECT_POINT("kernel.exec.pre_detach");
     if (b->RemoveMember(p)) {
       std::lock_guard<std::mutex> l(blocks_mu_);
       blocks_.erase(b);
     }
+    SG_INJECT_POINT("kernel.exec.post_detach");
   }
   // Close close-on-exec descriptors (ours only; we are no longer sharing).
   for (int fd = 0; fd < FdTable::kMaxFds; ++fd) {

@@ -4,6 +4,7 @@
 
 #include "base/check.h"
 #include "core/share_mask.h"
+#include "inject/inject.h"
 #include "sync/shared_read_lock.h"
 
 namespace sg {
@@ -80,8 +81,11 @@ ShaddrBlock::~ShaddrBlock() {
 }
 
 void ShaddrBlock::AddMember(Proc& child, u32 shmask) {
+  // Identity first, link second: once the child hangs off plink_, chain
+  // walkers (FlagOthers, the /proc snapshots) read its mask.
   child.shaddr = this;
   child.p_shmask = shmask;
+  SG_INJECT_POINT("shaddr.attach.pre_link");
   if ((shmask & PR_SADDR) != 0) {
     UpdateGuard g(space_.lock());
     child.as.set_shared(&space_);
@@ -95,17 +99,27 @@ void ShaddrBlock::AddMember(Proc& child, u32 shmask) {
 
 bool ShaddrBlock::TryAddMember(Proc& child, u32 shmask) {
   SG_CHECK((shmask & PR_SADDR) == 0);  // dynamic joins never share VM
+  // Same identity-before-link order as AddMember. The caller (PR_JOINGROUP)
+  // holds the kernel's block map lock, so the block cannot be destroyed
+  // under us even when we lose the race below; undoing the identity on
+  // failure touches only the caller's own fields.
+  child.shaddr = this;
+  child.p_shmask = shmask;
+  SG_INJECT_POINT("shaddr.tryattach.pre_refcnt");
   {
     SpinGuard g(listlock_);
     if (refcnt_ == 0) {
-      return false;  // the last member is mid-exit; the block is draining
+      // The last member's detach already dropped the count to zero under
+      // this same lock: teardown is committed, and reviving the chain here
+      // would resurrect a block whose owner is about to destroy it.
+      child.shaddr = nullptr;
+      child.p_shmask = 0;
+      return false;
     }
     child.s_plink = plink_;
     plink_ = &child;
     ++refcnt_;
   }
-  child.shaddr = this;
-  child.p_shmask = shmask;
   return true;
 }
 
@@ -183,6 +197,7 @@ Status ShaddrBlock::ShadowDataPrivately(Proc& p) {
 }
 
 bool ShaddrBlock::RemoveMember(Proc& p) {
+  SG_INJECT_POINT("shaddr.detach.pre_refcnt");
   if ((p.p_shmask & PR_SADDR) != 0 && p.as.shared() == &space_) {
     UpdateGuard g(space_.lock());
     // Drop this member's stack from the shared image. Its frames are about
@@ -201,6 +216,15 @@ bool ShaddrBlock::RemoveMember(Proc& p) {
     p.as.set_shared(nullptr);
     p.as.tlb().FlushAll();
   }
+  // Clear the membership identity BEFORE the unlink (the inverse of the
+  // attach order): from here on FlagOthers skips us and a PR_JOINGROUP
+  // aimed at us reads null instead of a block whose count may be about to
+  // hit zero. The unlink and the drop-to-zero stay atomic under listlock_,
+  // which is what TryAddMember's refcnt_ == 0 test relies on.
+  p.shaddr = nullptr;
+  p.p_shmask = 0;
+  p.p_flag.fetch_and(~kPfSyncAny, std::memory_order_acq_rel);
+  SG_INJECT_POINT("shaddr.detach.pre_unlink");
   bool last;
   {
     SpinGuard g(listlock_);
@@ -214,9 +238,7 @@ bool ShaddrBlock::RemoveMember(Proc& p) {
     SG_CHECK(refcnt_ > 0);
     last = (--refcnt_ == 0);
   }
-  p.shaddr = nullptr;
-  p.p_shmask = 0;
-  p.p_flag.fetch_and(~kPfSyncAny, std::memory_order_acq_rel);
+  SG_INJECT_POINT("shaddr.detach.post_unlink");
   return last;
 }
 
@@ -247,6 +269,7 @@ void ShaddrBlock::PullFdsIfFlagged(Proc& p) {
   if ((p.p_flag.load(std::memory_order_acquire) & kPfSyncFds) == 0) {
     return;
   }
+  SG_INJECT_POINT("shaddr.fds.pull");
   // Wholesale replace: release the stale table, duplicate the master.
   for (FdEntry& e : p.fds.slots()) {
     if (e.used()) {
@@ -263,14 +286,26 @@ void ShaddrBlock::PullFdsIfFlagged(Proc& p) {
 }
 
 void ShaddrBlock::PublishFds(Proc& p) {
-  for (FdEntry& e : ofile_) {
+  SG_INJECT_POINT("shaddr.fds.publish");
+  // Writers are single-threaded by fupdsema_, but OfileCount (the /proc
+  // snapshot path) reads the master table from outside that bracket.
+  // Build the replacement aside and swap it in under rupdlock_ so a
+  // concurrent reader never walks the vector mid-rebuild (growing it in
+  // place can reallocate the storage under the reader's feet); drop the
+  // displaced references only after the swap, outside the spinlock.
+  std::vector<FdEntry> fresh;
+  fresh.reserve(p.fds.slots().size());
+  for (const FdEntry& e : p.fds.slots()) {
+    fresh.push_back(e.used() ? FdEntry{vfs_.files().Dup(e.file), e.close_on_exec} : FdEntry{});
+  }
+  {
+    SpinGuard g(rupdlock_);
+    ofile_.swap(fresh);
+  }
+  for (const FdEntry& e : fresh) {
     if (e.used()) {
       vfs_.files().Release(e.file);
     }
-  }
-  ofile_.clear();
-  for (const FdEntry& e : p.fds.slots()) {
-    ofile_.push_back(e.used() ? FdEntry{vfs_.files().Dup(e.file), e.close_on_exec} : FdEntry{});
   }
   p.p_flag.fetch_and(~kPfSyncFds, std::memory_order_acq_rel);
   FlagOthers(p, PR_SFDS, kPfSyncFds);
@@ -430,6 +465,9 @@ Inode* ShaddrBlock::rdir() const {
 }
 
 int ShaddrBlock::OfileCount() const {
+  // Taken by the /proc snapshot outside the fupdsema_ bracket; rupdlock_
+  // pairs with the swap in PublishFds.
+  SpinGuard g(rupdlock_);
   int n = 0;
   for (const FdEntry& e : ofile_) {
     n += e.used() ? 1 : 0;

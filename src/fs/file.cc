@@ -2,6 +2,7 @@
 
 #include "base/check.h"
 #include "fs/pipe.h"
+#include "inject/inject.h"
 
 namespace sg {
 
@@ -25,6 +26,7 @@ Result<OpenFile*> FileTable::Alloc(Inode* ip, u32 flags) {
 }
 
 OpenFile* FileTable::Dup(OpenFile* f) {
+  SG_INJECT_POINT("file.dup");
   std::lock_guard<std::mutex> l(mu_);
   auto it = table_.find(f);
   SG_CHECK(it != table_.end());
@@ -33,6 +35,7 @@ OpenFile* FileTable::Dup(OpenFile* f) {
 }
 
 void FileTable::Release(OpenFile* f) {
+  SG_INJECT_POINT("file.release");
   std::unique_ptr<OpenFile> dying;
   {
     std::lock_guard<std::mutex> l(mu_);

@@ -36,6 +36,27 @@ namespace sg {
 
 class ShaddrBlock;  // core/shaddr.h — the share-group layer owns it
 
+// Atomic pointer to a process's share block. Written only by the owner
+// process's own thread (sproc/prctl/exec/exit) or by its parent before the
+// host thread starts, but read cross-thread by PR_JOINGROUP, kill(2) and
+// the /proc snapshots — so every access goes through an atomic. The
+// pointer-ish interface keeps owner-thread call sites natural; each
+// operator-> performs its own acquire load, which is fine for the owner
+// (its value is stable under its feet) and gives cross-thread readers one
+// consistent snapshot per dereference.
+class ShaddrPtr {
+ public:
+  ShaddrPtr& operator=(ShaddrBlock* b) {
+    p_.store(b, std::memory_order_release);
+    return *this;
+  }
+  operator ShaddrBlock*() const { return p_.load(std::memory_order_acquire); }
+  ShaddrBlock* operator->() const { return p_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<ShaddrBlock*> p_{nullptr};
+};
+
 // p_flag bits. The five sync bits say "your private copy of this resource
 // is stale; resynchronize from the shared-address block on kernel entry".
 inline constexpr u32 kPfSyncFds = 1u << 0;
@@ -70,8 +91,13 @@ class Proc final : public ExecutionContext {
   int term_signal = 0;  // nonzero if terminated by a signal
 
   // ----- share group (core layer manages these) -----
-  ShaddrBlock* shaddr = nullptr;  // null when not in a share group
-  u32 p_shmask = 0;               // resources this member shares
+  // Membership identity (shaddr + p_shmask) is published atomically:
+  // attach sets it before the member is linked into the chain, detach
+  // clears it before the unlink drops the refcount, so concurrent chain
+  // walkers (FlagOthers, the /proc snapshots) and PR_JOINGROUP's
+  // cross-thread peek never see a half-formed member.
+  ShaddrPtr shaddr;               // null when not in a share group
+  std::atomic<u32> p_shmask{0};   // resources this member shares
   std::atomic<u32> p_flag{0};     // sync bits (see above)
   Proc* s_plink = nullptr;        // next member in the share group chain
 
@@ -84,8 +110,12 @@ class Proc final : public ExecutionContext {
   FdTable fds;
   Inode* cwd = nullptr;      // counted ref
   Inode* rootdir = nullptr;  // counted ref
-  uid_t uid = 0;
-  gid_t gid = 0;
+  // Identity is owner-written (under the share block's rupdlock_ when
+  // shared) but read cross-thread by kill(2)'s permission check and the
+  // /proc snapshots; atomics keep those reads defined. umask/ulimit have
+  // no cross-thread readers and stay plain.
+  std::atomic<uid_t> uid{0};
+  std::atomic<gid_t> gid{0};
   mode_t umask = 022;
   u64 ulimit = u64{1} << 30;  // max file size a write may produce (bytes)
 

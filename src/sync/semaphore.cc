@@ -1,5 +1,6 @@
 #include "sync/semaphore.h"
 
+#include "inject/inject.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
 #include "sync/execution_context.h"
@@ -7,6 +8,7 @@
 namespace sg {
 
 Status Semaphore::P(SleepMode mode) {
+  SG_INJECT_POINT("sema.p");
   ExecutionContext* ctx = CurrentExecutionContext();
   bool slept = false;
   Status st = Status::Ok();
@@ -48,6 +50,7 @@ Status Semaphore::P(SleepMode mode) {
 }
 
 bool Semaphore::TryP() {
+  SG_INJECT_POINT("sema.tryp");
   std::lock_guard<std::mutex> l(m_);
   if (count_ > 0) {
     --count_;

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "base/check.h"
+#include "inject/inject.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
 #include "sync/execution_context.h"
@@ -138,6 +139,7 @@ void SharedReadLock::AcquireRead() {
   // (grant included — this acquisition was not granted) and queue behind
   // it, so updaters are never starved by a reader stream.
   slot.state.fetch_sub(kGrantOne | kActiveOne, std::memory_order_seq_cst);
+  SG_INJECT_POINT("sharedlock.read.backout");
   WakeDrain();  // the writer may be drain-waiting on our transient count
   AcquireReadSlow(slot);
 }
@@ -191,6 +193,7 @@ void SharedReadLock::AcquireUpdate() {
   writer_claimed_ = true;
   writer_intent_.store(true, std::memory_order_seq_cst);
   acclck_.Unlock();
+  SG_INJECT_POINT("sharedlock.update.pre_drain");
 
   // Drain the in-flight readers. New readers see writer_intent_ and back
   // out; each release (or back-out) with the flag up bumps the drain
@@ -252,6 +255,7 @@ bool SharedReadLock::TryAcquireUpdate() {
 }
 
 void SharedReadLock::ReleaseUpdate() {
+  SG_INJECT_POINT("sharedlock.update.release");
   acclck_.Lock();
   SG_DCHECK(writer_claimed_);
   writer_claimed_ = false;

@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "base/types.h"
+#include "inject/inject.h"
 #include "obs/stats.h"
 
 namespace sg {
@@ -42,6 +43,7 @@ class Spinlock {
       // this: the holder runs concurrently).
       contended_.fetch_add(1, std::memory_order_relaxed);
       SG_OBS_INC("sync.spin_contended");
+      SG_INJECT_POINT("spinlock.contended");
       u32 spins = 0;
       while (flag_.load(std::memory_order_relaxed)) {
         CpuRelax();

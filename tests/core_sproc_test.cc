@@ -105,7 +105,7 @@ TEST(Sproc, StrictInheritanceMasksChildShmask) {
     // those resources that the parent can share as well").
     pid_t pid = env.Sproc(
         [&](Env& c, long) {
-          pid_t gpid = c.Sproc([&](Env& g, long) { grandchild_mask = g.proc().p_shmask; },
+          pid_t gpid = c.Sproc([&](Env& g, long) { grandchild_mask = g.proc().p_shmask.load(); },
                                PR_SALL);
           ASSERT_GT(gpid, 0);
           c.WaitChild();
@@ -230,7 +230,7 @@ TEST(Sproc, ExecRemovesFromShareGroup) {
           Image img;
           img.main = [&](Env& e2, long) {
             exec_in_group = (e2.proc().shaddr != nullptr);
-            mask_after_exec = e2.proc().p_shmask;
+            mask_after_exec = e2.proc().p_shmask.load();
           };
           c.Exec(img);
           ADD_FAILURE() << "exec returned";

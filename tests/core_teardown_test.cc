@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <string>
 
 #include "api/kernel.h"
 #include "api/user_env.h"
+#include "inject/inject.h"
 
 namespace sg {
 namespace {
@@ -172,6 +174,148 @@ TEST(Teardown, NoFrameLeaksAfterGroupLife) {
   // Every frame — stacks, PRDAs, data, arena — returned to the allocator.
   EXPECT_EQ(k.mem().FreeFrames(), free_at_boot);
 }
+
+#if defined(SG_INJECT_ENABLED)
+
+// Seeded replays of schedules (lifecycle_storm_test harness) that crossed
+// the §6 teardown windows. The seed is part of the test name so a future
+// regression points straight at the schedule that found it.
+
+// Seed 0x5EED0001: PR_JOINGROUP racing the last member's exit. Before the
+// attach-vs-last-detach fix, TryAddMember could observe the draining
+// block between its refcnt_ drop-to-zero and the unlink, resurrect it,
+// and leave the joiner attached to a freed block. The fixed protocol
+// publishes identity before linking, refuses a block whose refcount
+// already hit zero (drop-to-zero and unlink are atomic under s_listlock),
+// and undoes the identity publish when it backs out.
+TEST(TeardownReplay, JoinRacesLastExit_Seed0x5EED0001) {
+  inject::PlanConfig cfg;
+  cfg.yield_ppm = 400000;
+  cfg.delay_ppm = 300000;
+  inject::InjectionPlan plan(0x5EED0001ull, cfg);
+  Kernel k;
+  {
+    inject::ScopedInjection active(plan);
+    for (int round = 0; round < 24; ++round) {
+      // A short-lived group: the member exits immediately, then the
+      // creator — teardown begins at once.
+      auto root = k.Launch([](Env& env, long) {
+        if (env.Sproc([](Env&, long) {}, PR_SALL) >= 0) {
+          env.WaitChild();
+        }
+      });
+      ASSERT_TRUE(root.ok());
+      // An unrelated process hammers PR_JOINGROUP at the dying group.
+      auto joiner = k.Launch([target = root.value()](Env& env, long) {
+        for (int i = 0; i < 6; ++i) {
+          (void)env.Prctl(PR_JOINGROUP, target);
+          env.Yield();
+        }
+      });
+      ASSERT_TRUE(joiner.ok());
+      k.WaitAll();
+      ASSERT_EQ(k.LiveBlocks(), 0u);
+    }
+  }
+  EXPECT_GT(plan.decisions(), 0u);
+}
+
+// Seed 0x5EED0002: exec(2) of a PR_SALL member while its siblings churn
+// the shared fd table. Exec must fully detach (member unlink, shared
+// pregion hint invalidation, TLB generation bump) BEFORE overlaying the
+// private image; the injection points kernel.exec.pre/post_detach widen
+// exactly that window.
+TEST(TeardownReplay, ExecDetachRacesFdChurn_Seed0x5EED0002) {
+  inject::PlanConfig cfg;
+  cfg.yield_ppm = 400000;
+  cfg.delay_ppm = 300000;
+  inject::InjectionPlan plan(0x5EED0002ull, cfg);
+  Kernel k;
+  const u64 free_at_boot = k.mem().FreeFrames();
+  {
+    inject::ScopedInjection active(plan);
+    for (int round = 0; round < 16; ++round) {
+      auto root = k.Launch([](Env& env, long) {
+        std::atomic<bool> execed{false};
+        pid_t m = env.Sproc(
+            [&](Env& c, long) {
+              Image img;
+              img.main = [&execed](Env&, long) { execed = true; };
+              c.Exec(img);
+            },
+            PR_SALL);
+        // Churn the shared table while the member detaches.
+        for (int i = 0; i < 8; ++i) {
+          int fd = env.Open("/churn", kOpenRdwr | kOpenCreat);
+          if (fd >= 0) {
+            env.Close(fd);
+          }
+        }
+        if (m >= 0) {
+          env.WaitChild();
+          EXPECT_TRUE(execed.load());
+          // The exec'd process left the group before the overlay.
+          EXPECT_EQ(env.proc().shaddr->refcnt(), 1u);
+        }
+      });
+      ASSERT_TRUE(root.ok());
+      k.WaitAll();
+      ASSERT_EQ(k.LiveBlocks(), 0u);
+    }
+  }
+  EXPECT_EQ(k.mem().FreeFrames(), free_at_boot);
+}
+
+// Seed 0x5EED0003: /proc/share/<gid> reads racing group teardown. The
+// reader snapshots member and fd-table state through the same paths
+// (refcnt, OfileCount) the dying group is tearing down; before the fd
+// swap went under s_rupdlock this was a use-after-free of the master
+// table's backing store.
+TEST(TeardownReplay, ProcShareReadRacesTeardown_Seed0x5EED0003) {
+  inject::PlanConfig cfg;
+  cfg.yield_ppm = 400000;
+  cfg.delay_ppm = 300000;
+  inject::InjectionPlan plan(0x5EED0003ull, cfg);
+  Kernel k;
+  {
+    inject::ScopedInjection active(plan);
+    for (int round = 0; round < 12; ++round) {
+      auto group = k.Launch([](Env& env, long) {
+        if (env.Sproc(
+                [](Env& c, long) {
+                  for (int i = 0; i < 6; ++i) {
+                    int fd = c.Open("/g", kOpenRdwr | kOpenCreat);
+                    if (fd >= 0) {
+                      c.Close(fd);
+                    }
+                  }
+                },
+                PR_SALL) >= 0) {
+          env.WaitChild();
+        }
+      });
+      ASSERT_TRUE(group.ok());
+      auto reader = k.Launch([](Env& env, long) {
+        for (int i = 0; i < 6; ++i) {
+          for (const std::string& name : env.ListDir("/proc/share")) {
+            int fd = env.Open("/proc/share/" + name, kOpenRead);
+            if (fd >= 0) {
+              std::byte buf[512];
+              (void)env.ReadBuf(fd, buf);
+              env.Close(fd);
+            }
+          }
+        }
+      });
+      ASSERT_TRUE(reader.ok());
+      k.WaitAll();
+      ASSERT_EQ(k.LiveBlocks(), 0u);
+    }
+  }
+  EXPECT_GT(plan.decisions(), 0u);
+}
+
+#endif  // SG_INJECT_ENABLED
 
 TEST(Teardown, GroupOfTwoGenerations) {
   Kernel k;

@@ -195,5 +195,47 @@ TEST(FsCalls, UnlinkedCwdReportsDisconnected) {
   });
 }
 
+// Regression: a sibling snapshotting the shared master table (the
+// /proc/share/<gid> path goes through ShaddrBlock::OfileCount) while a
+// PR_SFDS member grows it under s_fupdsema. PublishFds used to rebuild
+// the master vector in place — a concurrent reader could observe the
+// vector mid-realloc (use-after-free of the old backing store). The fix
+// builds the new table aside and swaps it in under s_rupdlock, which
+// OfileCount now also takes.
+TEST(FsCalls, OfileSnapshotRacesGrowingMasterTable) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    std::atomic<bool> done{false};
+    env.Sproc(
+        [&](Env& c, long) {
+          // Grow and shrink the master table hard enough to force the
+          // backing vector through several reallocations.
+          for (int round = 0; round < 40; ++round) {
+            int fds[8];
+            for (int i = 0; i < 8; ++i) {
+              fds[i] = c.Open("/grow" + std::to_string(i), kOpenRdwr | kOpenCreat);
+            }
+            for (int i = 0; i < 8; ++i) {
+              if (fds[i] >= 0) {
+                c.Close(fds[i]);
+              }
+            }
+          }
+          done = true;
+        },
+        PR_SFDS);
+    ShaddrBlock* b = env.kernel().BlockOf(env.proc());
+    ASSERT_NE(b, nullptr);
+    while (!done.load()) {
+      // The old code read the master vector unsynchronized here.
+      (void)b->OfileCount();
+      env.Yield();
+    }
+    env.WaitChild();
+  });
+  EXPECT_EQ(k.LiveBlocks(), 0u);
+  EXPECT_EQ(k.vfs().files().Count(), 0u);
+}
+
 }  // namespace
 }  // namespace sg

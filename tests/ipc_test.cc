@@ -56,7 +56,8 @@ TEST(SysvShm, TwoUnrelatedProcessesShare) {
   auto p1 = k.Launch([&](Env& env, long) {
     int id = env.Shmget(9, kPageSize);
     vaddr_t a = env.Shmat(id);
-    env.Store32(a, 0);
+    // Shm pages are demand-zero; writing an explicit 0 here would race
+    // p2's flag store (p2 can finish before we attach) and wipe it.
     while (env.AtomicRead32(a) != 77) {
       env.Yield();
     }

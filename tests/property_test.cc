@@ -33,7 +33,7 @@ TEST_P(MaskLattice, ChildMaskIsIntersection) {
     env.Sproc(
         [&, child_request](Env& member, long) {
           member.Sproc(
-              [&](Env& grandchild, long) { child_effective = grandchild.proc().p_shmask; },
+              [&](Env& grandchild, long) { child_effective = grandchild.proc().p_shmask.load(); },
               child_request);
           member.WaitChild();
         },
