@@ -32,6 +32,15 @@ if grep -q '^SG_INJECT:BOOL=ON$' "${build_dir}/CMakeCache.txt" 2>/dev/null; then
   exit 0
 fi
 
+# Same policy for the lockdep validator: it serializes part of every lock
+# acquisition, so its numbers are not comparable perf points either.
+if grep -q '^SG_LOCKDEP:BOOL=ON$' "${build_dir}/CMakeCache.txt" 2>/dev/null; then
+  echo "skipping benches: ${build_dir} was configured with SG_LOCKDEP=ON" >&2
+  echo "reconfigure a bench build first:" >&2
+  echo "  cmake -B ${build_dir} -S . -DSG_LOCKDEP=OFF && cmake --build ${build_dir} -j" >&2
+  exit 0
+fi
+
 tmp=$(mktemp)
 trap 'rm -f "${tmp}"' EXIT
 

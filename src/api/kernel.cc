@@ -8,6 +8,7 @@
 #include "obs/stats.h"
 #include "obs/trace.h"
 #include "proc/deliver.h"
+#include "sync/lockdep.h"
 #include "sync/wait.h"
 #include "vm/access.h"
 
@@ -28,6 +29,9 @@ Kernel::Kernel(const BootParams& params)
   if (params.mount_procfs) {
     procfs_ = std::make_unique<obs::Procfs>(
         vfs_, [this] { return SnapshotProcs(); }, [this] { return SnapshotGroups(); });
+    // The lockdep validator's report surface. obs/ sits below sync/ in the
+    // dependency order, so the wiring happens here at the top of the stack.
+    procfs_->AddRootFile("lockdep", [] { return lockdep::RenderReport(); });
   }
 }
 
@@ -348,7 +352,7 @@ Status Kernel::Sigaction(Proc& p, int sig, SigDisp disp, std::function<void(int)
   if (!ValidSignal(sig) || sig == kSigKill) {
     st = Errno::kEINVAL;  // SIGKILL cannot be caught or ignored
   } else {
-    std::lock_guard<std::mutex> l(p.sig_mu);
+    MutexGuard l(p.sig_mu);
     p.sig_actions[static_cast<u32>(sig)] = SigAction{disp, std::move(handler)};
   }
   SyscallExit(p);

@@ -90,7 +90,10 @@ void Kernel::InheritUArea(Proc& parent, Proc& child) {
       SG_CHECK(child.fds.SetSlot(fd, vfs_.files().Dup(e.file), e.close_on_exec).ok());
     }
   }
-  std::lock_guard<std::mutex> l(parent.sig_mu);
+  MutexGuard l(parent.sig_mu);
+  // The child is an embryo (host thread not started), so its mutex is free;
+  // holding it anyway keeps the write analyzable.
+  MutexGuard lc(child.sig_mu);
   child.sig_actions = parent.sig_actions;
   child.sig_blocked.store(parent.sig_blocked.load(std::memory_order_relaxed),
                           std::memory_order_relaxed);
@@ -419,7 +422,7 @@ Status Kernel::Exec(Proc& p, const Image& img, long arg) {
   }
   // Caught signals revert to default across exec.
   {
-    std::lock_guard<std::mutex> l(p.sig_mu);
+    MutexGuard l(p.sig_mu);
     for (SigAction& a : p.sig_actions) {
       if (a.disp == SigDisp::kHandler) {
         a = SigAction{};

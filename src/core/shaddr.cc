@@ -277,9 +277,18 @@ void ShaddrBlock::PullFdsIfFlagged(Proc& p) {
       e = FdEntry{};
     }
   }
-  for (u32 i = 0; i < ofile_.size() && i < p.fds.slots().size(); ++i) {
-    if (ofile_[i].used()) {
-      p.fds.slots()[i] = FdEntry{vfs_.files().Dup(ofile_[i].file), ofile_[i].close_on_exec};
+  // Snapshot the master under rupdlock_ — plain FdEntry copies only, no
+  // refcount traffic under the spinlock. Duplicating outside the lock is
+  // safe because fupdsema_ (held by our caller) excludes the only writer
+  // (PublishFds), so the snapshotted entries stay pinned.
+  std::vector<FdEntry> master;
+  {
+    SpinGuard g(rupdlock_);
+    master = ofile_;
+  }
+  for (u32 i = 0; i < master.size() && i < p.fds.slots().size(); ++i) {
+    if (master[i].used()) {
+      p.fds.slots()[i] = FdEntry{vfs_.files().Dup(master[i].file), master[i].close_on_exec};
     }
   }
   p.p_flag.fetch_and(~kPfSyncFds, std::memory_order_acq_rel);

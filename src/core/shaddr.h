@@ -25,6 +25,7 @@
 
 #include <vector>
 
+#include "base/thread_annotations.h"
 #include "base/types.h"
 #include "fs/file.h"
 #include "fs/vfs.h"
@@ -32,6 +33,7 @@
 #include "obs/stats.h"
 #include "obs/trace.h"
 #include "proc/proc.h"
+#include "sync/lockdep.h"
 #include "sync/semaphore.h"
 #include "sync/spinlock.h"
 #include "vm/shared_space.h"
@@ -45,8 +47,12 @@ class ShaddrBlock {
   // master resource copies from the creator's u-area (bumping the block's
   // own references), links the creator as the first member, and gives it a
   // mask "indicating that all resources are shared".
-  ShaddrBlock(Proc& creator, CpuSet& cpus, Vfs& vfs);
-  ~ShaddrBlock();
+  // Analysis suppressed on both: the constructor runs before the block is
+  // published (nobody else can hold its locks) and the destructor after
+  // the last member detached (sole owner), so neither takes the locks the
+  // touched fields are guarded by.
+  ShaddrBlock(Proc& creator, CpuSet& cpus, Vfs& vfs) SG_NO_THREAD_SAFETY_ANALYSIS;
+  ~ShaddrBlock() SG_NO_THREAD_SAFETY_ANALYSIS;
   ShaddrBlock(const ShaddrBlock&) = delete;
   ShaddrBlock& operator=(const ShaddrBlock&) = delete;
 
@@ -114,17 +120,25 @@ class ShaddrBlock {
   // Descriptor-table update bracket. Sequence in the syscall layer:
   //   LockFileUpdate(); PullFdsIfFlagged(p); <modify p.fds>;
   //   PublishFds(p); UnlockFileUpdate();
-  void LockFileUpdate() {
+  void LockFileUpdate() SG_ACQUIRE(fupdsema_) {
+    // The bracket is a sleeping acquisition even when TryP wins the fast
+    // path, so declare the sleep intent before trying.
+    lockdep::MaySleep("shaddr.LockFileUpdate");
     if (fupdsema_.TryP()) {
+      lockdep::OnAcquire(FupdsemaClass(), this);
       return;  // uncontended: another member isn't mid-update
     }
     SG_OBS_INC("core.fupdsema_waits");
     obs::Trace(obs::TraceKind::kSemSleep, 1);
     (void)fupdsema_.P();  // uninterruptible: always kOk
+    lockdep::OnAcquire(FupdsemaClass(), this);
   }
-  void UnlockFileUpdate() { fupdsema_.V(); }
-  void PullFdsIfFlagged(Proc& p);
-  void PublishFds(Proc& p);
+  void UnlockFileUpdate() SG_RELEASE(fupdsema_) {
+    lockdep::OnRelease(FupdsemaClass(), this);
+    fupdsema_.V();
+  }
+  void PullFdsIfFlagged(Proc& p) SG_REQUIRES(fupdsema_);
+  void PublishFds(Proc& p) SG_REQUIRES(fupdsema_);
 
   // Scalar resources; null/unset arguments leave that field as-is.
   void UpdateDir(Proc& p, Inode* new_cwd, Inode* new_root);  // takes over the counted refs
@@ -147,6 +161,14 @@ class ShaddrBlock {
   int OfileCount() const;
 
  private:
+  // Lockdep class of the fupdsema_ bracket (the semaphore itself is a
+  // generic counting primitive; the ordering class belongs to this use).
+  static lockdep::ClassId FupdsemaClass() {
+    static const lockdep::ClassId id =
+        lockdep::RegisterClass("shaddr.fupdsema", lockdep::Kind::kSleep);
+    return id;
+  }
+
   // Sets `bit` in every member (except `self`) whose share mask includes
   // `resource`.
   void FlagOthers(Proc& self, u32 resource, u32 bit);
@@ -161,20 +183,23 @@ class ShaddrBlock {
   SharedSpace space_;
   const u64 id_;  // assigned at creation, never reused
 
-  mutable Spinlock listlock_;  // s_listlock
-  Proc* plink_ = nullptr;      // s_plink
-  u32 refcnt_ = 0;             // s_refcnt
+  mutable Spinlock listlock_{"shaddr.listlock"};    // s_listlock
+  Proc* plink_ SG_GUARDED_BY(listlock_) = nullptr;  // s_plink
+  u32 refcnt_ SG_GUARDED_BY(listlock_) = 0;         // s_refcnt
 
-  Semaphore fupdsema_{1};          // s_fupdsema
-  std::vector<FdEntry> ofile_;     // s_ofile + s_pofile
+  Semaphore fupdsema_{1};  // s_fupdsema
+  // s_ofile + s_pofile. Mutated only inside the fupdsema_ bracket, but the
+  // vector itself is swapped/read under rupdlock_ so /proc snapshots can
+  // walk it without joining the bracket.
+  std::vector<FdEntry> ofile_ SG_GUARDED_BY(rupdlock_);
 
-  mutable Spinlock rupdlock_;  // s_rupdlock
-  Inode* cdir_ = nullptr;      // s_cdir
-  Inode* rdir_ = nullptr;      // s_rdir
-  mode_t cmask_ = 022;         // s_cmask
-  u64 limit_ = 0;              // s_limit
-  uid_t uid_ = 0;              // s_uid
-  gid_t gid_ = 0;              // s_gid
+  mutable Spinlock rupdlock_{"shaddr.rupdlock"};  // s_rupdlock
+  Inode* cdir_ SG_GUARDED_BY(rupdlock_) = nullptr;  // s_cdir
+  Inode* rdir_ SG_GUARDED_BY(rupdlock_) = nullptr;  // s_rdir
+  mode_t cmask_ SG_GUARDED_BY(rupdlock_) = 022;     // s_cmask
+  u64 limit_ SG_GUARDED_BY(rupdlock_) = 0;          // s_limit
+  uid_t uid_ SG_GUARDED_BY(rupdlock_) = 0;          // s_uid
+  gid_t gid_ SG_GUARDED_BY(rupdlock_) = 0;          // s_gid
 };
 
 }  // namespace sg

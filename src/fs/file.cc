@@ -7,7 +7,7 @@
 namespace sg {
 
 Result<OpenFile*> FileTable::Alloc(Inode* ip, u32 flags) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexGuard l(mu_);
   if (table_.size() >= max_files_) {
     return Errno::kENFILE;
   }
@@ -27,7 +27,7 @@ Result<OpenFile*> FileTable::Alloc(Inode* ip, u32 flags) {
 
 OpenFile* FileTable::Dup(OpenFile* f) {
   SG_INJECT_POINT("file.dup");
-  std::lock_guard<std::mutex> l(mu_);
+  MutexGuard l(mu_);
   auto it = table_.find(f);
   SG_CHECK(it != table_.end());
   ++it->second.second;
@@ -38,7 +38,7 @@ void FileTable::Release(OpenFile* f) {
   SG_INJECT_POINT("file.release");
   std::unique_ptr<OpenFile> dying;
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexGuard l(mu_);
     auto it = table_.find(f);
     SG_CHECK(it != table_.end() && it->second.second > 0);
     if (--it->second.second > 0) {
@@ -60,13 +60,13 @@ void FileTable::Release(OpenFile* f) {
 }
 
 u32 FileTable::RefCount(const OpenFile* f) const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexGuard l(mu_);
   auto it = table_.find(f);
   return it == table_.end() ? 0 : it->second.second;
 }
 
 u64 FileTable::Count() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexGuard l(mu_);
   return table_.size();
 }
 

@@ -9,10 +9,11 @@
 #define SRC_FS_FILE_H_
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "base/mutex.h"
 #include "base/result.h"
+#include "base/thread_annotations.h"
 #include "base/types.h"
 #include "fs/inode.h"
 
@@ -44,16 +45,16 @@ class OpenFile {
   // Offset, shared by every descriptor referencing this entry (dup(2) and
   // fork(2) semantics — and share-group members sharing PR_SFDS).
   u64 offset() const {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexGuard l(mu_);
     return offset_;
   }
   void set_offset(u64 off) {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexGuard l(mu_);
     offset_ = off;
   }
   // Atomically advances the offset by `n` starting from `from`.
   u64 AdvanceOffset(u64 n) {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexGuard l(mu_);
     const u64 at = offset_;
     offset_ += n;
     return at;
@@ -62,8 +63,8 @@ class OpenFile {
  private:
   Inode* inode_;
   u32 flags_;
-  mutable std::mutex mu_;
-  u64 offset_ = 0;
+  mutable Mutex mu_;
+  u64 offset_ SG_GUARDED_BY(mu_) = 0;
 };
 
 // The system-wide open file table. Allocation bumps the inode reference;
@@ -90,8 +91,9 @@ class FileTable {
  private:
   InodeTable& inodes_;
   u32 max_files_;
-  mutable std::mutex mu_;
-  std::map<const OpenFile*, std::pair<std::unique_ptr<OpenFile>, u32>> table_;
+  mutable Mutex mu_;
+  std::map<const OpenFile*, std::pair<std::unique_ptr<OpenFile>, u32>> table_
+      SG_GUARDED_BY(mu_);
 };
 
 // One descriptor slot: the open-file pointer plus the per-descriptor flag

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "base/result.h"
+#include "base/thread_annotations.h"
 #include "base/types.h"
 #include "sync/spinlock.h"
 
@@ -56,10 +57,10 @@ class PhysMem {
   u64 nframes_;
   std::unique_ptr<std::byte[]> arena_;
 
-  mutable Spinlock lock_;
-  std::vector<pfn_t> free_list_;
-  std::vector<u32> refcount_;
-  SwapSpace* swap_ = nullptr;
+  mutable Spinlock lock_{"physmem"};
+  std::vector<pfn_t> free_list_ SG_GUARDED_BY(lock_);
+  std::vector<u32> refcount_ SG_GUARDED_BY(lock_);
+  SwapSpace* swap_ = nullptr;  // set once at boot, then read-only
 };
 
 }  // namespace sg

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "base/result.h"
+#include "base/thread_annotations.h"
 #include "base/types.h"
 #include "sync/spinlock.h"
 
@@ -47,9 +48,11 @@ class SwapSpace {
 
  private:
   u32 nslots_;
+  // Slot contents are pinned by slot ownership (a slot is touched only by
+  // whoever holds its number), so store_ itself needs no lock.
   std::unique_ptr<std::byte[]> store_;
-  mutable Spinlock lock_;
-  std::vector<u32> free_list_;
+  mutable Spinlock lock_{"swap"};
+  std::vector<u32> free_list_ SG_GUARDED_BY(lock_);
   std::atomic<u64> outs_{0};
   std::atomic<u64> ins_{0};
 };

@@ -25,6 +25,7 @@
 #include <atomic>
 #include <vector>
 
+#include "base/thread_annotations.h"
 #include "base/types.h"
 #include "obs/stats.h"
 #include "sync/spinlock.h"
@@ -103,23 +104,24 @@ class Tlb {
   };
 
   // An entry counts only if it was installed under the current flush
-  // generation. Caller holds lock_.
-  bool Live(const Entry& e) const { return e.valid && e.gen == flush_gen_; }
+  // generation.
+  bool Live(const Entry& e) const SG_REQUIRES(lock_) { return e.valid && e.gen == flush_gen_; }
 
   u32 SlotFor(u64 vpn) const { return static_cast<u32>(vpn) & (nentries_ - 1); }
 
-  // Invalidates `e` (already checked Live). Caller holds lock_.
-  void Invalidate(Entry& e);
+  // Invalidates `e` (already checked Live).
+  void Invalidate(Entry& e) SG_REQUIRES(lock_);
 
   u32 nentries_;  // power of two; direct-mapped by low vpn bits
-  std::vector<Entry> entries_;
-  Spinlock lock_;  // owner thread probes/inserts; shootdowns flush remotely
+  // Owner thread probes/inserts; shootdowns flush remotely.
+  Spinlock lock_{"tlb"};
+  std::vector<Entry> entries_ SG_GUARDED_BY(lock_);
 
-  // Guarded by lock_. flush_gen_ advances on every FlushAll; live_count_
-  // tracks entries live under the current generation so FlushAll can
-  // account flushed entries without scanning.
-  u64 flush_gen_ = 0;
-  u32 live_count_ = 0;
+  // flush_gen_ advances on every FlushAll; live_count_ tracks entries live
+  // under the current generation so FlushAll can account flushed entries
+  // without scanning.
+  u64 flush_gen_ SG_GUARDED_BY(lock_) = 0;
+  u32 live_count_ SG_GUARDED_BY(lock_) = 0;
 
   std::atomic<u64> hits_{0};
   std::atomic<u64> misses_{0};

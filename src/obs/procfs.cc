@@ -47,8 +47,12 @@ Procfs::Procfs(Vfs& vfs, ProcLister procs, GroupLister groups)
 }
 
 Procfs::~Procfs() {
-  std::lock_guard<std::mutex> l(refresh_mu_);
+  MutexGuard l(refresh_mu_);
   InodeTable& tab = vfs_.inodes();
+  for (auto& [name, ip] : extra_files_) {
+    RemoveFile(proc_dir_, name, ip);
+  }
+  extra_files_.clear();
   for (auto& [pid, node] : pid_nodes_) {
     RemoveFile(node.dir, "status", node.status);
     SG_CHECK(proc_dir_->RemoveEntry(std::to_string(pid)).ok());
@@ -102,8 +106,14 @@ void Procfs::RemoveFile(Inode* parent, const std::string& name, Inode* ip) {
   tab.Iput(ip);     // our creation reference
 }
 
+void Procfs::AddRootFile(const std::string& name, std::function<std::string()> gen) {
+  MutexGuard l(refresh_mu_);
+  SG_CHECK(extra_files_.count(name) == 0);
+  extra_files_.emplace(name, MakeFile(proc_dir_, name, std::move(gen)));
+}
+
 void Procfs::Refresh() {
-  std::lock_guard<std::mutex> l(refresh_mu_);
+  MutexGuard l(refresh_mu_);
   InodeTable& tab = vfs_.inodes();
 
   // --- /proc/<pid> ---

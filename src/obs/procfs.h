@@ -19,10 +19,11 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "base/types.h"
 #include "fs/vfs.h"
 
@@ -75,6 +76,13 @@ class Procfs {
   // snapshots. Invoked by the VFS hook; callable directly from tests.
   void Refresh();
 
+  // Installs an extra generated file directly under /proc (e.g. the kernel
+  // layer registers /proc/lockdep here — Procfs itself sits below sync/ in
+  // the dependency order and cannot generate that content itself). The node
+  // is owned by this Procfs and removed in the destructor. The name must
+  // not collide with a pid directory or a built-in node.
+  void AddRootFile(const std::string& name, std::function<std::string()> gen);
+
  private:
   Inode* MakeDir(Inode* parent, const std::string& name);
   Inode* MakeFile(Inode* parent, const std::string& name, std::function<std::string()> gen);
@@ -91,13 +99,15 @@ class Procfs {
   Inode* share_dir_ = nullptr;  // /proc/share (own counted ref held)
   Inode* stat_file_ = nullptr;  // /proc/stat
 
-  std::mutex refresh_mu_;  // serializes concurrent traversal-driven refreshes
+  Mutex refresh_mu_;  // serializes concurrent traversal-driven refreshes
   struct PidNode {
     Inode* dir = nullptr;
     Inode* status = nullptr;
   };
-  std::map<i32, PidNode> pid_nodes_;
-  std::map<u64, Inode*> group_nodes_;
+  std::map<i32, PidNode> pid_nodes_ SG_GUARDED_BY(refresh_mu_);
+  std::map<u64, Inode*> group_nodes_ SG_GUARDED_BY(refresh_mu_);
+  // Extra root files installed via AddRootFile (name -> inode).
+  std::map<std::string, Inode*> extra_files_ SG_GUARDED_BY(refresh_mu_);
 };
 
 }  // namespace obs

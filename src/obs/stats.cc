@@ -9,7 +9,7 @@ Stats& Stats::Global() {
 }
 
 Counter& Stats::counter(std::string_view name) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexGuard l(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
@@ -18,7 +18,7 @@ Counter& Stats::counter(std::string_view name) {
 }
 
 Gauge& Stats::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexGuard l(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -27,7 +27,7 @@ Gauge& Stats::gauge(std::string_view name) {
 }
 
 LatencyHisto& Stats::histo(std::string_view name) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexGuard l(mu_);
   auto it = histos_.find(name);
   if (it == histos_.end()) {
     it = histos_.emplace(std::string(name), std::make_unique<LatencyHisto>()).first;
@@ -36,19 +36,19 @@ LatencyHisto& Stats::histo(std::string_view name) {
 }
 
 u64 Stats::CounterValue(std::string_view name) const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexGuard l(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->value();
 }
 
 u64 Stats::HistoCount(std::string_view name) const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexGuard l(mu_);
   auto it = histos_.find(name);
   return it == histos_.end() ? 0 : it->second->count();
 }
 
 std::string Stats::RenderText() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexGuard l(mu_);
   std::string out;
   out.reserve(1024);
   for (const auto& [name, c] : counters_) {

@@ -24,10 +24,11 @@
 #include <chrono>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "base/types.h"
 
 namespace sg {
@@ -105,10 +106,10 @@ class Stats {
  private:
   Stats() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<LatencyHisto>, std::less<>> histos_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_ SG_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_ SG_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<LatencyHisto>, std::less<>> histos_ SG_GUARDED_BY(mu_);
 };
 
 // Records the lifetime of a scope into a histogram.

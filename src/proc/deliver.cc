@@ -21,7 +21,7 @@ void DeliverPendingSignals(Proc& p) {
     }
     SigAction action;
     {
-      std::lock_guard<std::mutex> l(p.sig_mu);
+      MutexGuard l(p.sig_mu);
       action = p.sig_actions[static_cast<u32>(sig)];
     }
     switch (action.disp) {

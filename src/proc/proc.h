@@ -22,6 +22,8 @@
 #include <thread>
 #include <vector>
 
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "base/types.h"
 #include "fs/file.h"
 #include "fs/inode.h"
@@ -123,8 +125,8 @@ class Proc final : public ExecutionContext {
   std::atomic<u32> sig_pending{0};
   std::atomic<u32> sig_blocked{0};
   std::atomic<u64> sig_delivered{0};  // handlers run (sigpause uses this)
-  std::mutex sig_mu;  // guards actions
-  std::array<SigAction, kNsig> sig_actions{};
+  Mutex sig_mu;  // guards actions
+  std::array<SigAction, kNsig> sig_actions SG_GUARDED_BY(sig_mu){};
 
   // ----- scheduling / execution -----
   std::atomic<int> priority{0};  // scheduling priority (group-settable, see PR_SETGROUPPRI)
@@ -162,7 +164,7 @@ class Proc final : public ExecutionContext {
       return false;
     }
     // Ignored signals never interrupt a sleep.
-    std::lock_guard<std::mutex> l(sig_mu);
+    MutexGuard l(sig_mu);
     for (int sig = 1; sig < kNsig; ++sig) {
       if ((pending & SigBit(sig)) == 0) {
         continue;

@@ -1,10 +1,12 @@
 #include "sync/barrier.h"
 
 #include "sync/execution_context.h"
+#include "sync/lockdep.h"
 
 namespace sg {
 
 void Barrier::Arrive() {
+  lockdep::MaySleep("barrier.Arrive");
   ExecutionContext* ctx = CurrentExecutionContext();
   bool slept = false;
   {

@@ -4,10 +4,12 @@
 #include "obs/stats.h"
 #include "obs/trace.h"
 #include "sync/execution_context.h"
+#include "sync/lockdep.h"
 
 namespace sg {
 
 Status Semaphore::P(SleepMode mode) {
+  lockdep::MaySleep("semaphore.P");
   SG_INJECT_POINT("sema.p");
   ExecutionContext* ctx = CurrentExecutionContext();
   bool slept = false;

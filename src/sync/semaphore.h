@@ -11,6 +11,7 @@
 #include <mutex>
 
 #include "base/result.h"
+#include "base/thread_annotations.h"
 #include "base/types.h"
 
 namespace sg {
@@ -20,7 +21,12 @@ enum class SleepMode {
   kInterruptible,    // additionally wake with EINTR on a pending signal
 };
 
-class Semaphore {
+// Capability annotations model the binary (mutex-style) use — the kernel's
+// only instance is s_fupdsema, initial count 1, P/V strictly bracketed.
+// The annotations describe the uninterruptible path; an EINTR return from
+// an interruptible P does NOT hold the capability, so such call sites must
+// hand the result to clang explicitly (none exist in the kernel today).
+class SG_CAPABILITY("semaphore") Semaphore {
  public:
   explicit Semaphore(i64 initial = 0) : count_(initial) {}
   Semaphore(const Semaphore&) = delete;
@@ -29,13 +35,13 @@ class Semaphore {
   // Decrements the count, sleeping while it is zero.
   // Returns kOk, or EINTR for an interrupted interruptible sleep (the count
   // is not consumed in that case).
-  Status P(SleepMode mode = SleepMode::kUninterruptible);
+  Status P(SleepMode mode = SleepMode::kUninterruptible) SG_ACQUIRE();
 
   // Non-blocking P; returns true if the count was consumed.
-  bool TryP();
+  bool TryP() SG_TRY_ACQUIRE(true);
 
   // Increments the count and wakes sleepers.
-  void V();
+  void V() SG_RELEASE();
 
   i64 count() const;
 

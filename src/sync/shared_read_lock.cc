@@ -7,6 +7,7 @@
 #include "obs/stats.h"
 #include "obs/trace.h"
 #include "sync/execution_context.h"
+#include "sync/lockdep.h"
 
 namespace sg {
 
@@ -14,6 +15,15 @@ namespace {
 u64 NowNsSince(std::chrono::steady_clock::time_point t0) {
   const auto dt = std::chrono::steady_clock::now() - t0;
   return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count());
+}
+
+// All SharedReadLock instances share one lockdep class: every instance
+// guards the same kind of object (a share group's pregion list) and no
+// path nests two of them.
+lockdep::ClassId SharedLockClass() {
+  static const lockdep::ClassId id =
+      lockdep::RegisterClass("sharedlock", lockdep::Kind::kSleep);
+  return id;
 }
 }  // namespace
 
@@ -127,12 +137,17 @@ void SharedReadLock::WaitDrainChangedFrom(u64 gen) {
 }
 
 void SharedReadLock::AcquireRead() {
+  // Even the fast path is a violation under a spinlock: whether THIS call
+  // sleeps depends on a racing updater, and the discipline must hold on
+  // every schedule.
+  lockdep::MaySleep("sharedlock.AcquireRead");
   Slot& slot = slots_[SlotIndex()];
   // One RMW: raise the active count and (optimistically) the grant
   // statistic together. The only shared state touched after it is a load
   // of the (rarely written) intent flag.
   slot.state.fetch_add(kGrantOne | kActiveOne, std::memory_order_seq_cst);
   if (!writer_intent_.load(std::memory_order_seq_cst)) {
+    lockdep::OnAcquire(SharedLockClass(), this);
     return;
   }
   // A writer holds the lock or is draining readers: back the increment out
@@ -142,6 +157,9 @@ void SharedReadLock::AcquireRead() {
   SG_INJECT_POINT("sharedlock.read.backout");
   WakeDrain();  // the writer may be drain-waiting on our transient count
   AcquireReadSlow(slot);
+  // Recorded after AcquireReadSlow drops acclck_, so lockdep never sees an
+  // acclck -> sharedlock edge (the implementation lock is strictly inside).
+  lockdep::OnAcquire(SharedLockClass(), this);
 }
 
 void SharedReadLock::AcquireReadSlow(Slot& slot) {
@@ -163,6 +181,7 @@ void SharedReadLock::AcquireReadSlow(Slot& slot) {
 }
 
 void SharedReadLock::ReleaseRead() {
+  lockdep::OnRelease(SharedLockClass(), this);
   Slot& slot = slots_[SlotIndex()];
   slot.state.fetch_sub(kActiveOne, std::memory_order_seq_cst);
   if (writer_intent_.load(std::memory_order_seq_cst)) {
@@ -173,6 +192,7 @@ void SharedReadLock::ReleaseRead() {
 }
 
 void SharedReadLock::AcquireUpdate() {
+  lockdep::MaySleep("sharedlock.AcquireUpdate");
   // Writer-wait latency is the paper's §7 cost of shrink/detach: every
   // update acquisition records entry-to-grant time, so /proc/stat exposes
   // how long updaters stall behind the reader population.
@@ -213,6 +233,7 @@ void SharedReadLock::AcquireUpdate() {
     WaitDrainChangedFrom(gen);
   }
 
+  lockdep::OnAcquire(SharedLockClass(), this);
   updates_.fetch_add(1, std::memory_order_relaxed);
   SG_OBS_INC("sharedlock.updates");
   if (named_updates_ != nullptr) {
@@ -246,6 +267,7 @@ bool SharedReadLock::TryAcquireUpdate() {
     return false;
   }
   acclck_.Unlock();
+  lockdep::OnAcquire(SharedLockClass(), this);
   updates_.fetch_add(1, std::memory_order_relaxed);
   SG_OBS_INC("sharedlock.updates");
   if (named_updates_ != nullptr) {
@@ -255,6 +277,7 @@ bool SharedReadLock::TryAcquireUpdate() {
 }
 
 void SharedReadLock::ReleaseUpdate() {
+  lockdep::OnRelease(SharedLockClass(), this);
   SG_INJECT_POINT("sharedlock.update.release");
   acclck_.Lock();
   SG_DCHECK(writer_claimed_);

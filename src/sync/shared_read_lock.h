@@ -47,13 +47,14 @@
 #include <string>
 #include <string_view>
 
+#include "base/thread_annotations.h"
 #include "base/types.h"
 #include "obs/stats.h"
 #include "sync/spinlock.h"
 
 namespace sg {
 
-class SharedReadLock {
+class SG_CAPABILITY("shared_read_lock") SharedReadLock {
  public:
   // Enough slots that a machine's worth of faulting members hash apart;
   // power of two so slot choice is a mask.
@@ -66,16 +67,16 @@ class SharedReadLock {
   // Reader side: any number of concurrent holders. Uninterruptible (a
   // faulting process must complete its scan once the updater finishes).
   // Release must happen on the thread that acquired (slot-local count).
-  void AcquireRead();
-  void ReleaseRead();
+  void AcquireRead() SG_ACQUIRE_SHARED();
+  void ReleaseRead() SG_RELEASE_SHARED();
 
   // Updater side: exclusive. Waits for all readers to drain.
-  void AcquireUpdate();
-  void ReleaseUpdate();
+  void AcquireUpdate() SG_ACQUIRE();
+  void ReleaseUpdate() SG_RELEASE();
 
   // True if the calling relationship permits an update right now without
   // waiting (used only by tests; inherently racy otherwise).
-  bool TryAcquireUpdate();
+  bool TryAcquireUpdate() SG_TRY_ACQUIRE(true);
 
   // Names the lock so its update-side counters additionally surface as
   // `sharedlock.<name>.*` in the global registry (and through that in
@@ -135,7 +136,7 @@ class SharedReadLock {
   // Sleeps until the release generation changes, releasing both the
   // spinlock (already held by the caller) and the simulated CPU. On return
   // the spinlock is re-held.
-  void SleepUntilReleased();
+  void SleepUntilReleased() SG_REQUIRES(acclck_);
   // Wakes the release channel (all queued readers/updaters). Any thread.
   void WakeReleased();
   // Wakes the drain channel (the draining updater, if any). Any thread.
@@ -153,9 +154,11 @@ class SharedReadLock {
   // with a load.
   std::atomic<bool> writer_intent_{false};
 
-  Spinlock acclck_;             // guards writer_claimed_ and waitcnt_
-  bool writer_claimed_ = false; // an updater holds or is draining
-  unsigned waitcnt_ = 0;        // sleepers waiting for the lock
+  Spinlock acclck_{"sharedlock.acclck"};
+  // An updater holds or is draining toward the lock.
+  bool writer_claimed_ SG_GUARDED_BY(acclck_) = false;
+  // Sleepers waiting for the lock.
+  unsigned waitcnt_ SG_GUARDED_BY(acclck_) = 0;
 
   std::mutex chan_m_;
   std::condition_variable drain_cv_;
@@ -176,38 +179,45 @@ class SharedReadLock {
   obs::LatencyHisto* named_wait_histo_ = nullptr;
 };
 
-// RAII guards.
-class ReadGuard {
+// RAII guards. Scoped capabilities with an early-release escape: clang
+// models Release() (annotated SG_RELEASE) on a scoped object, so the
+// destructor's implicit release does not double-count.
+class SG_SCOPED_CAPABILITY ReadGuard {
  public:
-  explicit ReadGuard(SharedReadLock& l) : l_(&l) { l_->AcquireRead(); }
-  ~ReadGuard() { Release(); }
-  void Release() {
+  explicit ReadGuard(SharedReadLock& l) SG_ACQUIRE_SHARED(l) : l_(&l) { l_->AcquireRead(); }
+  ~ReadGuard() SG_RELEASE() { Unwind(); }
+  void Release() SG_RELEASE() { Unwind(); }
+  ReadGuard(const ReadGuard&) = delete;
+  ReadGuard& operator=(const ReadGuard&) = delete;
+
+ private:
+  // Unannotated so both the destructor and Release() may call it.
+  void Unwind() SG_NO_THREAD_SAFETY_ANALYSIS {
     if (l_ != nullptr) {
       l_->ReleaseRead();
       l_ = nullptr;
     }
   }
-  ReadGuard(const ReadGuard&) = delete;
-  ReadGuard& operator=(const ReadGuard&) = delete;
 
- private:
   SharedReadLock* l_;
 };
 
-class UpdateGuard {
+class SG_SCOPED_CAPABILITY UpdateGuard {
  public:
-  explicit UpdateGuard(SharedReadLock& l) : l_(&l) { l_->AcquireUpdate(); }
-  ~UpdateGuard() { Release(); }
-  void Release() {
+  explicit UpdateGuard(SharedReadLock& l) SG_ACQUIRE(l) : l_(&l) { l_->AcquireUpdate(); }
+  ~UpdateGuard() SG_RELEASE() { Unwind(); }
+  void Release() SG_RELEASE() { Unwind(); }
+  UpdateGuard(const UpdateGuard&) = delete;
+  UpdateGuard& operator=(const UpdateGuard&) = delete;
+
+ private:
+  void Unwind() SG_NO_THREAD_SAFETY_ANALYSIS {
     if (l_ != nullptr) {
       l_->ReleaseUpdate();
       l_ = nullptr;
     }
   }
-  UpdateGuard(const UpdateGuard&) = delete;
-  UpdateGuard& operator=(const UpdateGuard&) = delete;
 
- private:
   SharedReadLock* l_;
 };
 

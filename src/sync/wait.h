@@ -21,6 +21,7 @@
 
 #include "base/result.h"
 #include "sync/execution_context.h"
+#include "sync/lockdep.h"
 #include "sync/semaphore.h"  // SleepMode
 
 namespace sg {
@@ -28,6 +29,9 @@ namespace sg {
 template <typename Pred>
 Status BlockOn(std::condition_variable& cv, std::unique_lock<std::mutex>& l, SleepMode mode,
                bool* slept, Pred&& pred) {
+  // Checked even when pred() is already true: whether a BlockOn call
+  // actually sleeps is schedule-dependent, the no-spinlock rule is not.
+  lockdep::MaySleep("wait.BlockOn");
   ExecutionContext* ctx = CurrentExecutionContext();
   for (;;) {
     if (pred()) {

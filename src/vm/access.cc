@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "base/log.h"
+#include "base/thread_annotations.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
 #include "sync/shared_read_lock.h"
@@ -31,7 +32,9 @@ Status HandleFault(AddressSpace& as, vaddr_t va, bool want_write) {
 
 namespace {
 
-Status HandleFaultOnce(AddressSpace& as, vaddr_t va, bool want_write) {
+// Suppressed: the read guard is conditional (std::optional, only when the
+// faulting process shares VM) — unanalyzable for clang; lockdep covers it.
+Status HandleFaultOnce(AddressSpace& as, vaddr_t va, bool want_write) SG_NO_THREAD_SAFETY_ANALYSIS {
   as.faults.fetch_add(1, std::memory_order_relaxed);
   SG_OBS_INC("vm.faults");
   obs::Trace(obs::TraceKind::kPageFault, va, want_write ? 1 : 0);

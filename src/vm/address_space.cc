@@ -12,7 +12,9 @@ void SetShared(bool* out_shared, bool v) {
 }
 }  // namespace
 
-Pregion* AddressSpace::FindPregionFast(vaddr_t va, bool* out_shared) {
+// Suppressed: holds the shared read lock only when a shared space is
+// attached (see FindByType).
+Pregion* AddressSpace::FindPregionFast(vaddr_t va, bool* out_shared) SG_NO_THREAD_SAFETY_ANALYSIS {
   // Private side first — hint, then walk — so a private page (PRDA,
   // privately shadowed data) always wins over the shared image. The
   // private list of a sharing member is tiny (PRDA + perhaps a shadowed

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/thread_annotations.h"
 #include "base/types.h"
 #include "hw/phys_mem.h"
 #include "hw/tlb.h"
@@ -80,8 +81,10 @@ class AddressSpace {
   void InvalidatePrivateHint() { hint_private_ = nullptr; }
 
   // Finds a pregion by region type, scanning private then shared. The
-  // caller holds the shared lock if a shared space is attached.
-  Pregion* FindByType(RegionType type) {
+  // caller holds the shared lock if a shared space is attached — a
+  // conditional precondition clang cannot express, hence the suppression
+  // (the runtime lockdep validator covers these scans).
+  Pregion* FindByType(RegionType type) SG_NO_THREAD_SAFETY_ANALYSIS {
     for (auto& pr : private_) {
       if (pr->region->type() == type) {
         return pr.get();

@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/thread_annotations.h"
 #include "base/types.h"
 #include "hw/cpu_set.h"
 #include "hw/tlb.h"
@@ -30,8 +31,10 @@ class SharedSpace {
 
   // The paper's shared read lock. Hold for read around any scan of
   // pregions(); hold for update around any modification of the list, a
-  // region resize, or a member TLB registry change.
-  SharedReadLock& lock() { return lock_; }
+  // region resize, or a member TLB registry change. SG_RETURN_CAPABILITY
+  // lets clang see `ReadGuard g(space.lock())` as guarding the fields
+  // below even through this accessor.
+  SharedReadLock& lock() SG_RETURN_CAPABILITY(lock_) { return lock_; }
 
   // Update generation: advances on every update acquisition of the lock,
   // i.e. before any pregion-list/VA mutation can begin. A Pregion* cached
@@ -40,12 +43,15 @@ class SharedSpace {
   // erasure requires the update side, which bumps this first.
   u64 generation() const { return lock_.updates(); }
 
-  // The shared pregion list. Scans and edits require the lock (see above).
-  std::vector<std::unique_ptr<Pregion>>& pregions() { return pregions_; }
+  // The shared pregion list. Scans require the lock at least shared;
+  // mutations of the returned vector additionally require the update side
+  // (which clang cannot see through the reference — lockdep covers it).
+  std::vector<std::unique_ptr<Pregion>>& pregions() SG_REQUIRES_SHARED(lock_) {
+    return pregions_;
+  }
 
-  // Finds the shared pregion containing `va`; caller holds the lock (read
-  // suffices).
-  Pregion* Find(vaddr_t va) {
+  // Finds the shared pregion containing `va`.
+  Pregion* Find(vaddr_t va) SG_REQUIRES_SHARED(lock_) {
     for (auto& pr : pregions_) {
       if (pr->Contains(va)) {
         return pr.get();
@@ -55,26 +61,28 @@ class SharedSpace {
   }
 
   // Group VA allocator; callers hold the lock for update.
-  VaAllocator& va() { return va_; }
+  VaAllocator& va() SG_REQUIRES(lock_) { return va_; }
 
-  // Member translation-context registry; callers hold the lock for update
-  // to modify, read to iterate.
-  void AddMemberTlb(Tlb* tlb) { member_tlbs_.push_back(tlb); }
-  void RemoveMemberTlb(Tlb* tlb) {
+  // Member translation-context registry: update side to modify, at least
+  // read side to iterate.
+  void AddMemberTlb(Tlb* tlb) SG_REQUIRES(lock_) { member_tlbs_.push_back(tlb); }
+  void RemoveMemberTlb(Tlb* tlb) SG_REQUIRES(lock_) {
     std::erase(member_tlbs_, tlb);
   }
-  const std::vector<Tlb*>& member_tlbs() const { return member_tlbs_; }
+  const std::vector<Tlb*>& member_tlbs() const SG_REQUIRES_SHARED(lock_) {
+    return member_tlbs_;
+  }
 
   // §6.2 shootdown: synchronously flush every member's translations on all
   // processors. Caller holds the lock for update; any member that then
   // touches the space misses, enters the fault path, and blocks on the lock.
-  void ShootdownAll() { cpus_.SynchronousFlush(member_tlbs_); }
+  void ShootdownAll() SG_REQUIRES(lock_) { cpus_.SynchronousFlush(member_tlbs_); }
 
   // Page-granular invalidation used when a COW break in a shared region
   // replaces a frame: every member must drop its stale translation before
-  // the new frame becomes visible. Caller holds the lock (read suffices —
-  // the page table entry itself is guarded by the region lock).
-  void FlushPageAllMembers(u64 vpn) {
+  // the new frame becomes visible. Read side suffices — the page table
+  // entry itself is guarded by the region lock.
+  void FlushPageAllMembers(u64 vpn) SG_REQUIRES_SHARED(lock_) {
     for (Tlb* t : member_tlbs_) {
       t->FlushPage(vpn);
     }
@@ -85,9 +93,9 @@ class SharedSpace {
  private:
   CpuSet& cpus_;
   SharedReadLock lock_;
-  std::vector<std::unique_ptr<Pregion>> pregions_;
-  std::vector<Tlb*> member_tlbs_;
-  VaAllocator va_;
+  std::vector<std::unique_ptr<Pregion>> pregions_ SG_GUARDED_BY(lock_);
+  std::vector<Tlb*> member_tlbs_ SG_GUARDED_BY(lock_);
+  VaAllocator va_ SG_GUARDED_BY(lock_);
 };
 
 }  // namespace sg

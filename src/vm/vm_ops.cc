@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "base/check.h"
+#include "base/thread_annotations.h"
 #include "sync/shared_read_lock.h"
 
 namespace sg {
@@ -14,7 +15,10 @@ Pregion* FindData(AddressSpace& as) { return as.FindByType(RegionType::kData); }
 
 }  // namespace
 
-Result<vaddr_t> CurrentBrk(AddressSpace& as) {
+// Suppressed: the guard is conditional (std::optional, taken only when the
+// process shares VM), a shape clang's analysis cannot model. The runtime
+// lockdep validator covers these paths instead.
+Result<vaddr_t> CurrentBrk(AddressSpace& as) SG_NO_THREAD_SAFETY_ANALYSIS {
   SharedSpace* ss = as.shared();
   std::optional<ReadGuard> guard;
   if (ss != nullptr) {
@@ -27,7 +31,8 @@ Result<vaddr_t> CurrentBrk(AddressSpace& as) {
   return data->base + data->bytes();
 }
 
-Result<vaddr_t> Sbrk(AddressSpace& as, i64 delta, u64 max_data_pages) {
+// Suppressed: conditional std::optional guard (see CurrentBrk).
+Result<vaddr_t> Sbrk(AddressSpace& as, i64 delta, u64 max_data_pages) SG_NO_THREAD_SAFETY_ANALYSIS {
   SharedSpace* ss = as.shared();
   // Any resize is a VM-image update: exclude all concurrent faulters so the
   // paper's rule holds — "by the time control is returned to the process
@@ -137,7 +142,8 @@ Status Unmap(AddressSpace& as, vaddr_t base) {
   return Status::Ok();
 }
 
-Status DuplicateForFork(AddressSpace& parent, AddressSpace& child) {
+// Suppressed: conditional std::optional guard (see CurrentBrk).
+Status DuplicateForFork(AddressSpace& parent, AddressSpace& child) SG_NO_THREAD_SAFETY_ANALYSIS {
   SG_CHECK(child.shared() == nullptr);
   SharedSpace* ss = parent.shared();
   std::optional<UpdateGuard> guard;

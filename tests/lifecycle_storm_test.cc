@@ -22,6 +22,7 @@
 #include "api/user_env.h"
 #include "inject/inject.h"
 #include "obs/stats.h"
+#include "sync/lockdep.h"
 
 #if defined(__SANITIZE_THREAD__)
 #define SG_STORM_TSAN 1
@@ -206,6 +207,10 @@ void RunStorm(u64 seed, const inject::PlanConfig& cfg) {
   EXPECT_EQ(k.LiveBlocks(), 0u);
   EXPECT_EQ(k.vfs().files().Count(), files_at_boot);
   EXPECT_EQ(k.mem().FreeFrames(), free_at_boot);
+  // Under the lockdep preset, every schedule the storm forces through the
+  // lifecycle windows must keep the lock-order graph acyclic and never
+  // declare sleep intent under a spinlock.
+  EXPECT_EQ(lockdep::Reports(), 0u) << lockdep::RenderReport();
 }
 
 inject::PlanConfig StormConfig() {

@@ -12,6 +12,7 @@
 #include "api/user_env.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
+#include "sync/lockdep.h"
 
 namespace sg {
 namespace {
@@ -193,9 +194,26 @@ TEST(Procfs, ListDirShowsStatAndShare) {
     const std::vector<std::string> names = env.ListDir("/proc");
     EXPECT_NE(std::find(names.begin(), names.end(), "stat"), names.end());
     EXPECT_NE(std::find(names.begin(), names.end(), "share"), names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "lockdep"), names.end());
     EXPECT_NE(std::find(names.begin(), names.end(), std::to_string(env.Pid())), names.end());
   });
   k.WaitAll();
+}
+
+// /proc/lockdep serves the validator's state dump: "lockdep: on" plus the
+// class list in a lockdep build, an explanatory one-liner otherwise.
+TEST(Procfs, LockdepNodeRendersValidatorState) {
+  Kernel k;
+  std::string text;
+  (void)k.Launch([&](Env& env, long) { text = CatFile(env, "/proc/lockdep"); });
+  k.WaitAll();
+  if (lockdep::kEnabled) {
+    EXPECT_NE(text.find("lockdep: on"), std::string::npos);
+    // A named class registered by a lock the boot itself constructs.
+    EXPECT_NE(text.find("physmem"), std::string::npos);
+  } else {
+    EXPECT_NE(text.find("lockdep: off"), std::string::npos);
+  }
 }
 
 // The acceptance workload: a vm_sync-style run (share group + region

@@ -11,6 +11,7 @@
 
 #include "api/kernel.h"
 #include "api/user_env.h"
+#include "sync/lockdep.h"
 
 namespace sg {
 namespace {
@@ -151,6 +152,9 @@ TEST_P(Torture, ChaoticGroupLeavesNoResidue) {
   EXPECT_EQ(k.LiveBlocks(), 0u);
   EXPECT_EQ(k.vfs().files().Count(), 0u);
   EXPECT_EQ(k.mem().FreeFrames(), frames0);
+  // Under the lockdep preset the whole chaotic run must also be free of
+  // lock-order inversions and sleep-under-spinlock reports.
+  EXPECT_EQ(lockdep::Reports(), 0u) << lockdep::RenderReport();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Torture, ::testing::Range(1u, 9u));
@@ -177,6 +181,7 @@ TEST(Torture, RepeatedGroupLifecycles) {
   }
   EXPECT_EQ(k.mem().FreeFrames(), frames0);
   EXPECT_EQ(k.vfs().files().Count(), 0u);
+  EXPECT_EQ(lockdep::Reports(), 0u) << lockdep::RenderReport();
 }
 
 }  // namespace

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Repository lint: clang-tidy (when available) plus banned-pattern checks
+# that encode the locking conventions clang-tidy cannot see.
+#
+#   tools/lint.sh [build-dir]
+#
+# The build dir only matters for clang-tidy (it needs compile_commands.json;
+# configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON). The pattern checks
+# always run and need nothing but grep. Exit nonzero on any violation.
+set -uo pipefail
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-${repo}/build}
+fail=0
+
+# ---------------------------------------------------------------------------
+# 1. clang-tidy over src/ (skipped with a notice when clang-tidy or the
+#    compile database is missing — the container image ships gcc only).
+# ---------------------------------------------------------------------------
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "lint: clang-tidy not found; skipping static checks (pattern checks still run)" >&2
+elif [ ! -f "${build_dir}/compile_commands.json" ]; then
+  echo "lint: ${build_dir}/compile_commands.json missing; skipping clang-tidy" >&2
+  echo "      configure with: cmake -B ${build_dir} -S ${repo} -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+else
+  echo "== clang-tidy" >&2
+  # shellcheck disable=SC2046
+  if ! clang-tidy -p "${build_dir}" --quiet $(find "${repo}/src" -name '*.cc' | sort); then
+    fail=1
+  fi
+fi
+
+# ---------------------------------------------------------------------------
+# 2. Banned patterns.
+# ---------------------------------------------------------------------------
+echo "== banned patterns" >&2
+
+# 2a. Spinlock internals stay inside sync/: nothing outside src/sync may
+#     poke a lock's flag word directly (that bypasses the lockdep hooks and
+#     the Unlock holder check).
+hits=$(grep -rn 'flag_\.store\|flag_\.exchange' "${repo}/src" \
+         --include='*.h' --include='*.cc' | grep -v '^[^:]*src/sync/' || true)
+if [ -n "${hits}" ]; then
+  echo "lint: raw spinlock flag manipulation outside src/sync/:" >&2
+  echo "${hits}" >&2
+  fail=1
+fi
+
+# 2b. Injection points must be registered: every SG_INJECT_POINT /
+#     SG_INJECT_FAULT name in src/ must appear in tools/inject_points.txt,
+#     so storm plans and the lint registry can't silently drift apart.
+registry="${repo}/tools/inject_points.txt"
+planted=$(grep -rhoE 'SG_INJECT_(POINT|FAULT)\("[^"]+"\)' "${repo}/src" \
+            --include='*.cc' --include='*.h' \
+          | grep -v 'src/inject/' \
+          | sed -E 's/SG_INJECT_(POINT|FAULT)\("([^"]+)"\)/\2/' | sort -u)
+unregistered=""
+for name in ${planted}; do
+  if ! grep -qx "${name}" <(grep -v '^#' "${registry}" | grep -v '^$'); then
+    unregistered="${unregistered} ${name}"
+  fi
+done
+if [ -n "${unregistered}" ]; then
+  echo "lint: injection points planted but not registered in tools/inject_points.txt:" >&2
+  for name in ${unregistered}; do echo "  ${name}" >&2; done
+  fail=1
+fi
+
+if [ "${fail}" -ne 0 ]; then
+  echo "lint: FAIL" >&2
+  exit 1
+fi
+echo "lint: OK" >&2
