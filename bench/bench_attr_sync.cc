@@ -9,6 +9,7 @@
 #include <chrono>
 
 #include "bench/bench_util.h"
+#include "core/shaddr.h"
 
 namespace sg {
 namespace {
@@ -150,6 +151,86 @@ void BM_FdPullAfterFlag(benchmark::State& state) {
 }
 
 BENCHMARK(BM_FdPullAfterFlag)->Arg(0)->Arg(16)->Arg(48)->UseManualTime();
+
+// The delta-sync headline: publish + member pull for a ONE-descriptor
+// change while the table holds `open_fds` other descriptors. With
+// generation stamps both sides are O(changed); the curve should be flat
+// where BM_FdPublishVsTableSize/BM_FdPullAfterFlag used to grow linearly.
+void BM_FdSingleChangeInLargeTable(benchmark::State& state) {
+  const int open_fds = static_cast<int>(state.range(0));
+  Kernel k;
+  constexpr int kCalls = 256;
+  for (auto _ : state) {
+    double elapsed = 0;
+    RunSim(k, [&](Env& env) {
+      auto pids = SpawnSleepers(env, 2);
+      for (int i = 0; i < open_fds; ++i) {
+        char path[32];
+        std::snprintf(path, sizeof(path), "/sc%d", i);
+        env.Open(path, kOpenWrite | kOpenCreat);
+      }
+      (void)env.UlimitGet();  // fully synced before the clock starts
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < kCalls; ++i) {
+        // Publish side: open+close stamp one slot twice.
+        const int fd = env.Open("/churn", kOpenWrite | kOpenCreat);
+        env.Close(fd);
+        // Pull side: rewind our sync markers past those two publishes so
+        // the next entry repays the member-side delta pull, exactly what a
+        // sleeping member pays when it wakes.
+        env.proc().p_fd_synced_gen -= 2;
+        env.proc().p_resgen = LaneSet(env.proc().p_resgen, kLaneFds,
+                                      LaneGet(env.proc().p_resgen, kLaneFds) - 2);
+        benchmark::DoNotOptimize(env.UlimitGet());
+      }
+      elapsed = Secs(t0);
+      ReapSleepers(env, pids);
+    });
+    state.SetIterationTime(elapsed);
+  }
+  state.SetItemsProcessed(state.iterations() * kCalls);
+  state.counters["open_fds"] = open_fds;
+}
+
+BENCHMARK(BM_FdSingleChangeInLargeTable)->Arg(0)->Arg(16)->Arg(48)->UseManualTime();
+
+// Scalar update cost vs group size after the generation rework: the update
+// bumps one lane instead of walking the member chain, so the curve should
+// be flat in `members` (compare BM_UmaskUpdateVsGroupSize in BENCH_4).
+// `members` counts OTHER live members: every point runs inside a share
+// group (a group of one at members=0), so the series isolates scaling from
+// the fixed private-path-vs-group-path delta that
+// BM_UmaskUpdateVsGroupSize/0 already records.
+void BM_ScalarUpdateVsGroupSize(benchmark::State& state) {
+  const int members = static_cast<int>(state.range(0));
+  Kernel k;
+  constexpr int kCalls = 1024;
+  for (auto _ : state) {
+    double elapsed = 0;
+    RunSim(k, [&](Env& env) {
+      env.Sproc([](Env&, long) {}, PR_SALL);  // ensure the group exists
+      env.WaitChild();
+      auto pids = SpawnSleepers(env, members);
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < kCalls; ++i) {
+        // Alternate two shared scalars so both Update paths stay hot.
+        if ((i & 1) == 0) {
+          env.Umask(static_cast<mode_t>(i & 0777));
+        } else {
+          (void)env.UlimitSet(u64{1} << 30);
+        }
+      }
+      elapsed = Secs(t0);
+      ReapSleepers(env, pids);
+    });
+    state.SetIterationTime(elapsed);
+  }
+  state.SetItemsProcessed(state.iterations() * kCalls);
+  state.counters["members"] = members;
+}
+
+BENCHMARK(BM_ScalarUpdateVsGroupSize)->Arg(0)->Arg(1)->Arg(3)->Arg(7)->Arg(15)
+    ->UseManualTime();
 
 }  // namespace
 }  // namespace sg

@@ -213,25 +213,15 @@ Result<pid_t> Kernel::Sproc(Proc& p, UserFn entry, u32 shmask, long arg) {
     return st.error();
   }
 
-  // The child's u-area was copied from the parent outside the update locks;
-  // flag everything it shares so its first kernel entry pulls fresh copies.
-  u32 bits = 0;
-  if ((shmask & PR_SFDS) != 0) {
-    bits |= kPfSyncFds;
-  }
-  if ((shmask & PR_SDIR) != 0) {
-    bits |= kPfSyncDir;
-  }
-  if ((shmask & PR_SID) != 0) {
-    bits |= kPfSyncId;
-  }
-  if ((shmask & PR_SUMASK) != 0) {
-    bits |= kPfSyncUmask;
-  }
-  if ((shmask & PR_SULIMIT) != 0) {
-    bits |= kPfSyncUlimit;
-  }
-  c->p_flag.fetch_or(bits, std::memory_order_acq_rel);
+  // The child's u-area was copied from the parent outside the update locks,
+  // so the child is exactly as stale as the parent: seed its generation
+  // caches from the parent's and the ordinary delta sync pulls, on the
+  // child's first kernel entry, exactly what the parent itself would have
+  // pulled (strict inheritance means the child shares nothing the parent
+  // doesn't). This replaces the old flag-everything seeding, whose first
+  // entry cost a wholesale resync even when nothing had changed.
+  c->p_resgen = p.p_resgen;
+  c->p_fd_synced_gen = p.p_fd_synced_gen;
   SG_INJECT_POINT("kernel.sproc.post_attach");
 
   StartProcThread(c, std::move(entry), arg);

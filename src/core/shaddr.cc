@@ -1,5 +1,6 @@
 #include "core/shaddr.h"
 
+#include <algorithm>
 #include <string>
 
 #include "base/check.h"
@@ -49,15 +50,30 @@ ShaddrBlock::ShaddrBlock(Proc& creator, CpuSet& cpus, Vfs& vfs)
   space_.AddMemberTlb(&creator.as.tlb());
 
   // Seed the master resource copies, bumping the block's own references.
+  // Slots start at gen 0 (< fd_gen_): nothing is newer than what the
+  // creator, seeded fully synced below, already has.
+  ofile_.reserve(creator.fds.slots().size());
+  int used = 0;
   for (const FdEntry& e : creator.fds.slots()) {
-    ofile_.push_back(e.used() ? FdEntry{vfs_.files().Dup(e.file), e.close_on_exec} : FdEntry{});
+    MasterFdSlot s;
+    if (e.used()) {
+      s.e = FdEntry{vfs_.files().Dup(e.file), e.close_on_exec};
+      ++used;
+    }
+    ofile_.push_back(s);
   }
+  ofile_count_.store(used, std::memory_order_release);
   cdir_ = vfs_.inodes().Iget(creator.cwd);
   rdir_ = vfs_.inodes().Iget(creator.rootdir);
   cmask_ = creator.umask;
   limit_ = creator.ulimit;
   uid_ = creator.uid;
   gid_ = creator.gid;
+
+  // The master copies ARE the creator's current values, so the creator is
+  // born synchronized (it may carry stale caches from an earlier group).
+  creator.p_resgen = resgen_.load(std::memory_order_relaxed);
+  creator.p_fd_synced_gen = fd_gen_;
 
   plink_ = &creator;
   creator.s_plink = nullptr;
@@ -67,9 +83,9 @@ ShaddrBlock::ShaddrBlock(Proc& creator, CpuSet& cpus, Vfs& vfs)
 }
 
 ShaddrBlock::~ShaddrBlock() {
-  for (const FdEntry& e : ofile_) {
-    if (e.used()) {
-      vfs_.files().Release(e.file);
+  for (const MasterFdSlot& s : ofile_) {
+    if (s.e.used()) {
+      vfs_.files().Release(s.e.file);
     }
   }
   if (cdir_ != nullptr) {
@@ -263,71 +279,141 @@ void ShaddrBlock::FlagOthers(Proc& self, u32 resource, u32 bit) {
   }
 }
 
+// ----- generation plumbing (DESIGN.md §4f) -----
+
+u64 ShaddrBlock::BumpScalarLane(ResLane lane) {
+  // CAS rather than fetch_add: a plain RMW could carry into the neighbor
+  // lane, and the fds lane is stored under a different lock (fupdsema_)
+  // than the scalar lanes (rupdlock_), so lanes do race each other. The
+  // release half publishes the master value written just before the bump;
+  // pullers re-read it under rupdlock_ anyway, so this only makes the
+  // staleness check timely, never load-bearing for the data itself.
+  u64 cur = resgen_.load(std::memory_order_relaxed);
+  u64 next = 0;
+  u64 value = 0;
+  do {
+    value = (LaneGet(cur, lane) + 1) & (LaneLimit(lane) - 1);
+    next = LaneSet(cur, lane, value);
+  } while (!resgen_.compare_exchange_weak(cur, next, std::memory_order_acq_rel,
+                                          std::memory_order_relaxed));
+  SG_OBS_INC("core.scalar_gen_bumps");
+  if (value == 0) {
+    SG_OBS_INC("core.scalar_gen_wraps");
+  }
+  return value;
+}
+
+void ShaddrBlock::StoreFdsLane(u64 fd_gen) {
+  u64 cur = resgen_.load(std::memory_order_relaxed);
+  u64 next = 0;
+  do {
+    next = LaneSet(cur, kLaneFds, fd_gen);
+  } while (!resgen_.compare_exchange_weak(cur, next, std::memory_order_acq_rel,
+                                          std::memory_order_relaxed));
+}
+
 // ----- file descriptors (under fupdsema_) -----
 
 void ShaddrBlock::PullFdsIfFlagged(Proc& p) {
-  if ((p.p_flag.load(std::memory_order_acquire) & kPfSyncFds) == 0) {
-    return;
+  // A set kPfSyncFds bit forces a full-table reconcile: PR_JOINGROUP
+  // joiners carry arbitrary private tables (and an unrelated synced-gen
+  // from a previous group), and the lane-wrap fallback routes members too
+  // far behind for the word compare through here as well.
+  const bool forced = (p.p_flag.load(std::memory_order_acquire) & kPfSyncFds) != 0;
+  if (!forced && p.p_fd_synced_gen == fd_gen_) {
+    return;  // current: nothing published since we last synchronized
   }
-  SG_INJECT_POINT("shaddr.fds.pull");
-  // Wholesale replace: release the stale table, duplicate the master.
-  for (FdEntry& e : p.fds.slots()) {
-    if (e.used()) {
-      vfs_.files().Release(e.file);
-      e = FdEntry{};
+  SG_INJECT_POINT("shaddr.fds.delta_pull");
+  u64 pulled = 0;
+  const auto n = std::min(ofile_.size(), p.fds.slots().size());
+  for (u32 i = 0; i < n; ++i) {
+    const MasterFdSlot& s = ofile_[i];
+    if (!forced && s.gen <= p.p_fd_synced_gen) {
+      continue;  // slot untouched since our last sync
     }
-  }
-  // Snapshot the master under rupdlock_ — plain FdEntry copies only, no
-  // refcount traffic under the spinlock. Duplicating outside the lock is
-  // safe because fupdsema_ (held by our caller) excludes the only writer
-  // (PublishFds), so the snapshotted entries stay pinned.
-  std::vector<FdEntry> master;
-  {
-    SpinGuard g(rupdlock_);
-    master = ofile_;
-  }
-  for (u32 i = 0; i < master.size() && i < p.fds.slots().size(); ++i) {
-    if (master[i].used()) {
-      p.fds.slots()[i] = FdEntry{vfs_.files().Dup(master[i].file), master[i].close_on_exec};
+    FdEntry& mine = p.fds.slots()[i];
+    if (mine.file == s.e.file) {
+      // Same open-file instance: adopt the flag byte, no refcount traffic.
+      if (mine.close_on_exec != s.e.close_on_exec) {
+        mine.close_on_exec = s.e.close_on_exec;
+        ++pulled;
+      }
+      continue;
     }
+    if (mine.used()) {
+      vfs_.files().Release(mine.file);
+    }
+    mine = s.e.used() ? FdEntry{vfs_.files().Dup(s.e.file), s.e.close_on_exec} : FdEntry{};
+    ++pulled;
   }
+  p.p_fd_synced_gen = fd_gen_;
+  p.p_resgen = LaneSet(p.p_resgen, kLaneFds, fd_gen_);
   p.p_flag.fetch_and(~kPfSyncFds, std::memory_order_acq_rel);
+  if (pulled > 0) {
+    SG_OBS_ADD("core.fds.delta_pulled_slots", pulled);
+  }
 }
 
 void ShaddrBlock::PublishFds(Proc& p) {
-  SG_INJECT_POINT("shaddr.fds.publish");
-  // Writers are single-threaded by fupdsema_, but OfileCount (the /proc
-  // snapshot path) reads the master table from outside that bracket.
-  // Build the replacement aside and swap it in under rupdlock_ so a
-  // concurrent reader never walks the vector mid-rebuild (growing it in
-  // place can reallocate the storage under the reader's feet); drop the
-  // displaced references only after the swap, outside the spinlock.
-  std::vector<FdEntry> fresh;
-  fresh.reserve(p.fds.slots().size());
-  for (const FdEntry& e : p.fds.slots()) {
-    fresh.push_back(e.used() ? FdEntry{vfs_.files().Dup(e.file), e.close_on_exec} : FdEntry{});
+  SG_INJECT_POINT("shaddr.fds.delta_publish");
+  // Diff the member's table against the master and retarget only changed
+  // slots. fupdsema_ single-threads every reader and writer of ofile_; the
+  // /proc snapshot reads the atomic ofile_count_ instead of walking us.
+  u64 changed = 0;
+  int used_delta = 0;
+  const auto n = std::min(ofile_.size(), p.fds.slots().size());
+  for (u32 i = 0; i < n; ++i) {
+    MasterFdSlot& s = ofile_[i];
+    const FdEntry& mine = p.fds.slots()[i];
+    if (s.e.file == mine.file && s.e.close_on_exec == mine.close_on_exec) {
+      continue;
+    }
+    if (changed == 0) {
+      ++fd_gen_;  // one fresh stamp per publish that changes anything
+    }
+    if (s.e.file != mine.file) {
+      OpenFile* displaced = s.e.file;  // may be null
+      s.e.file = mine.used() ? vfs_.files().Dup(mine.file) : nullptr;
+      used_delta += (s.e.file != nullptr ? 1 : 0) - (displaced != nullptr ? 1 : 0);
+      if (displaced != nullptr) {
+        vfs_.files().Release(displaced);
+      }
+    }
+    s.e.close_on_exec = mine.close_on_exec;
+    s.gen = fd_gen_;
+    ++changed;
   }
-  {
-    SpinGuard g(rupdlock_);
-    ofile_.swap(fresh);
-  }
-  for (const FdEntry& e : fresh) {
-    if (e.used()) {
-      vfs_.files().Release(e.file);
+  if (changed > 0) {
+    if (used_delta != 0) {
+      ofile_count_.fetch_add(used_delta, std::memory_order_acq_rel);
+    }
+    StoreFdsLane(fd_gen_);
+    SG_OBS_ADD("core.fds.delta_published_slots", changed);
+    if (LaneGet(fd_gen_, kLaneFds) == 0) {
+      // The 16-bit lane mirror just wrapped: a member 2^16 publishes
+      // behind could alias the word compare, so fall back to the paper's
+      // O(members) flagging — its forced pull ignores generations.
+      SG_OBS_INC("core.scalar_gen_wraps");
+      FlagOthers(p, PR_SFDS, kPfSyncFds);
     }
   }
+  // The publisher is by construction fully synchronized with what it just
+  // published (PullFdsIfFlagged ran first inside this same bracket).
+  p.p_fd_synced_gen = fd_gen_;
+  p.p_resgen = LaneSet(p.p_resgen, kLaneFds, fd_gen_);
   p.p_flag.fetch_and(~kPfSyncFds, std::memory_order_acq_rel);
-  FlagOthers(p, PR_SFDS, kPfSyncFds);
 }
 
 // ----- scalar resources (under rupdlock_) -----
 
 void ShaddrBlock::UpdateDir(Proc& p, Inode* new_cwd, Inode* new_root) {
   SpinGuard g(rupdlock_);
-  // Double-update check: refresh from the master before applying our own
-  // change, so a concurrent chroot by another member is not clobbered by
-  // our chdir (and vice versa).
-  if ((p.p_flag.load(std::memory_order_acquire) & kPfSyncDir) != 0) {
+  // Double-update check (generation form): refresh from the master before
+  // applying our own change, so a concurrent chroot by another member is
+  // not clobbered by our chdir (and vice versa).
+  if (LaneGet(resgen_.load(std::memory_order_relaxed), kLaneDir) !=
+          LaneGet(p.p_resgen, kLaneDir) ||
+      (p.p_flag.load(std::memory_order_acquire) & kPfSyncDir) != 0) {
     vfs_.inodes().Iput(p.cwd);
     vfs_.inodes().Iput(p.rootdir);
     p.cwd = vfs_.inodes().Iget(cdir_);
@@ -341,13 +427,18 @@ void ShaddrBlock::UpdateDir(Proc& p, Inode* new_cwd, Inode* new_root) {
     vfs_.inodes().Iput(p.rootdir);
     p.rootdir = new_root;
   }
-  // Copy to the master (swap the block's references).
+  // Copy to the master (swap the block's references) and bump the lane —
+  // O(1) in group size; members notice via the word compare at entry.
   vfs_.inodes().Iput(cdir_);
   vfs_.inodes().Iput(rdir_);
   cdir_ = vfs_.inodes().Iget(p.cwd);
   rdir_ = vfs_.inodes().Iget(p.rootdir);
+  const u64 lane = BumpScalarLane(kLaneDir);
+  p.p_resgen = LaneSet(p.p_resgen, kLaneDir, lane);
   p.p_flag.fetch_and(~kPfSyncDir, std::memory_order_acq_rel);
-  FlagOthers(p, PR_SDIR, kPfSyncDir);
+  if (lane == 0) {
+    FlagOthers(p, PR_SDIR, kPfSyncDir);  // wrap fallback (see BumpScalarLane)
+  }
 }
 
 void ShaddrBlock::PullDir(Proc& p) {
@@ -356,12 +447,16 @@ void ShaddrBlock::PullDir(Proc& p) {
   vfs_.inodes().Iput(p.rootdir);
   p.cwd = vfs_.inodes().Iget(cdir_);
   p.rootdir = vfs_.inodes().Iget(rdir_);
+  p.p_resgen =
+      LaneSet(p.p_resgen, kLaneDir, LaneGet(resgen_.load(std::memory_order_relaxed), kLaneDir));
   p.p_flag.fetch_and(~kPfSyncDir, std::memory_order_acq_rel);
+  SG_OBS_INC("core.scalar_gen_pulls");
 }
 
 void ShaddrBlock::UpdateIds(Proc& p, const uid_t* new_uid, const gid_t* new_gid) {
   SpinGuard g(rupdlock_);
-  if ((p.p_flag.load(std::memory_order_acquire) & kPfSyncId) != 0) {
+  if (LaneGet(resgen_.load(std::memory_order_relaxed), kLaneId) != LaneGet(p.p_resgen, kLaneId) ||
+      (p.p_flag.load(std::memory_order_acquire) & kPfSyncId) != 0) {
     p.uid = uid_;
     p.gid = gid_;
   }
@@ -373,71 +468,128 @@ void ShaddrBlock::UpdateIds(Proc& p, const uid_t* new_uid, const gid_t* new_gid)
   }
   uid_ = p.uid;
   gid_ = p.gid;
+  const u64 lane = BumpScalarLane(kLaneId);
+  p.p_resgen = LaneSet(p.p_resgen, kLaneId, lane);
   p.p_flag.fetch_and(~kPfSyncId, std::memory_order_acq_rel);
-  FlagOthers(p, PR_SID, kPfSyncId);
+  if (lane == 0) {
+    FlagOthers(p, PR_SID, kPfSyncId);
+  }
 }
 
 void ShaddrBlock::PullIds(Proc& p) {
   SpinGuard g(rupdlock_);
   p.uid = uid_;
   p.gid = gid_;
+  p.p_resgen =
+      LaneSet(p.p_resgen, kLaneId, LaneGet(resgen_.load(std::memory_order_relaxed), kLaneId));
   p.p_flag.fetch_and(~kPfSyncId, std::memory_order_acq_rel);
+  SG_OBS_INC("core.scalar_gen_pulls");
 }
 
 void ShaddrBlock::UpdateUmask(Proc& p, mode_t value) {
   SpinGuard g(rupdlock_);
   p.umask = static_cast<mode_t>(value & kModeAll);
   cmask_ = p.umask;
+  const u64 lane = BumpScalarLane(kLaneUmask);
+  p.p_resgen = LaneSet(p.p_resgen, kLaneUmask, lane);
   p.p_flag.fetch_and(~kPfSyncUmask, std::memory_order_acq_rel);
-  FlagOthers(p, PR_SUMASK, kPfSyncUmask);
+  if (lane == 0) {
+    FlagOthers(p, PR_SUMASK, kPfSyncUmask);
+  }
 }
 
 void ShaddrBlock::PullUmask(Proc& p) {
   SpinGuard g(rupdlock_);
   p.umask = cmask_;
+  p.p_resgen =
+      LaneSet(p.p_resgen, kLaneUmask, LaneGet(resgen_.load(std::memory_order_relaxed), kLaneUmask));
   p.p_flag.fetch_and(~kPfSyncUmask, std::memory_order_acq_rel);
+  SG_OBS_INC("core.scalar_gen_pulls");
 }
 
 void ShaddrBlock::UpdateUlimit(Proc& p, u64 value) {
   SpinGuard g(rupdlock_);
   p.ulimit = value;
   limit_ = value;
+  const u64 lane = BumpScalarLane(kLaneUlimit);
+  p.p_resgen = LaneSet(p.p_resgen, kLaneUlimit, lane);
   p.p_flag.fetch_and(~kPfSyncUlimit, std::memory_order_acq_rel);
-  FlagOthers(p, PR_SULIMIT, kPfSyncUlimit);
+  if (lane == 0) {
+    FlagOthers(p, PR_SULIMIT, kPfSyncUlimit);
+  }
 }
 
 void ShaddrBlock::PullUlimit(Proc& p) {
   SpinGuard g(rupdlock_);
   p.ulimit = limit_;
+  p.p_resgen = LaneSet(p.p_resgen, kLaneUlimit,
+                       LaneGet(resgen_.load(std::memory_order_relaxed), kLaneUlimit));
   p.p_flag.fetch_and(~kPfSyncUlimit, std::memory_order_acq_rel);
+  SG_OBS_INC("core.scalar_gen_pulls");
 }
 
 void ShaddrBlock::SyncOnKernelEntry(Proc& p) {
-  // The fast path is this single test (§6.3: "if any are set then a routine
-  // to handle the synchronization is called ... thus lowering the system
-  // call overhead for most system calls").
+  // The fast path keeps §6.3's property ("the collection of bits in p_flag
+  // is checked in a single test ... thus lowering the system call overhead
+  // for most system calls"): one packed-word compare covers every
+  // generation lane, plus the legacy bit AND for the forced-resync paths
+  // (PR_JOINGROUP, lane wrap, signal/teardown users of the bits).
+  const u64 word = resgen_.load(std::memory_order_acquire);
   const u32 flags = p.p_flag.load(std::memory_order_acquire);
-  if ((flags & kPfSyncAny) == 0) {
+  if (word == p.p_resgen && (flags & kPfSyncAny) == 0) {
     return;
   }
   SG_OBS_INC("core.sync_pulls");
   obs::Trace(obs::TraceKind::kResourceSync, flags & kPfSyncAny);
-  if ((flags & kPfSyncFds) != 0) {
-    LockFileUpdate();
-    PullFdsIfFlagged(p);
-    UnlockFileUpdate();
+  const u32 mask = p.p_shmask.load(std::memory_order_acquire);
+  const auto stale = [&](ResLane lane, u32 bit) {
+    return LaneGet(word, lane) != LaneGet(p.p_resgen, lane) || (flags & bit) != 0;
+  };
+  // For a resource this member does NOT share, the master is irrelevant:
+  // adopt the lane (so the word compare recovers, e.g. after PR_UNSHARE)
+  // and drop any stray forced bit.
+  const auto adopt = [&](ResLane lane, u32 bit) {
+    p.p_resgen = LaneSet(p.p_resgen, lane, LaneGet(word, lane));
+    if ((flags & bit) != 0) {
+      p.p_flag.fetch_and(~bit, std::memory_order_acq_rel);
+    }
+  };
+  if (stale(kLaneFds, kPfSyncFds)) {
+    if ((mask & PR_SFDS) != 0) {
+      LockFileUpdate();
+      PullFdsIfFlagged(p);
+      UnlockFileUpdate();
+    } else {
+      adopt(kLaneFds, kPfSyncFds);
+    }
   }
-  if ((flags & kPfSyncDir) != 0) {
-    PullDir(p);
+  if (stale(kLaneDir, kPfSyncDir)) {
+    if ((mask & PR_SDIR) != 0) {
+      PullDir(p);
+    } else {
+      adopt(kLaneDir, kPfSyncDir);
+    }
   }
-  if ((flags & kPfSyncId) != 0) {
-    PullIds(p);
+  if (stale(kLaneId, kPfSyncId)) {
+    if ((mask & PR_SID) != 0) {
+      PullIds(p);
+    } else {
+      adopt(kLaneId, kPfSyncId);
+    }
   }
-  if ((flags & kPfSyncUmask) != 0) {
-    PullUmask(p);
+  if (stale(kLaneUmask, kPfSyncUmask)) {
+    if ((mask & PR_SUMASK) != 0) {
+      PullUmask(p);
+    } else {
+      adopt(kLaneUmask, kPfSyncUmask);
+    }
   }
-  if ((flags & kPfSyncUlimit) != 0) {
-    PullUlimit(p);
+  if (stale(kLaneUlimit, kPfSyncUlimit)) {
+    if ((mask & PR_SULIMIT) != 0) {
+      PullUlimit(p);
+    } else {
+      adopt(kLaneUlimit, kPfSyncUlimit);
+    }
   }
 }
 
@@ -471,17 +623,6 @@ Inode* ShaddrBlock::cdir() const {
 Inode* ShaddrBlock::rdir() const {
   SpinGuard g(rupdlock_);
   return rdir_;
-}
-
-int ShaddrBlock::OfileCount() const {
-  // Taken by the /proc snapshot outside the fupdsema_ bracket; rupdlock_
-  // pairs with the swap in PublishFds.
-  SpinGuard g(rupdlock_);
-  int n = 0;
-  for (const FdEntry& e : ofile_) {
-    n += e.used() ? 1 : 0;
-  }
-  return n;
 }
 
 }  // namespace sg

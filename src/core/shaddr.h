@@ -9,7 +9,8 @@
 //       -> the member chain (through Proc::s_plink), refcnt_, listlock_
 //   s_fupdsema -> fupdsema_ (single-threads open-file-table updates)
 //   s_ofile / s_pofile -> ofile_ (master copy of the descriptor table,
-//       FdEntry carries the per-descriptor flag byte)
+//       FdEntry carries the per-descriptor flag byte), generation-stamped
+//       per slot for delta synchronization
 //   s_cdir / s_rdir -> cdir_/rdir_ (counted inode refs)
 //   s_rupdlock -> rupdlock_ (spinlock for the small shared values)
 //   s_cmask / s_limit / s_uid / s_gid -> cmask_/limit_/uid_/gid_
@@ -20,9 +21,32 @@
 // before all other group members have had a chance to synchronize." The
 // block therefore owns one reference to every file in ofile_ and to
 // cdir_/rdir_, released only at group teardown or replacement.
+//
+// ---- Generation-based resource synchronization (DESIGN.md §4f) ----
+//
+// The paper's p_flag bits answer "did ANYTHING change?"; flagging is
+// O(members) per update and a flagged member resynchronizes wholesale.
+// This block generalizes the "checked in a single test" property to
+// generation counters:
+//
+//   * resgen_ — one packed u64 with a generation lane per shared resource
+//     (fds/dir/id/umask/ulimit). Every update bumps its lane; a member
+//     caches the word it last synced against (Proc::p_resgen), so kernel
+//     entry stays a single word compare and updates stop walking the
+//     member chain (FlagOthers survives only as the lane-wrap fallback
+//     and for forced resyncs: sproc seeding, PR_JOINGROUP, teardown).
+//   * fd_gen_ / MasterFdSlot::gen — the master descriptor table carries a
+//     full-width table generation; each slot is stamped with the
+//     generation of its last change and each member records the table
+//     generation its own fd table reflects (Proc::p_fd_synced_gen).
+//     PublishFds diffs the member table against the master and touches
+//     only changed slots; PullFdsIfFlagged copies only slots stamped
+//     newer than the member's last sync — a 1-fd open(2) costs O(changed)
+//     refcount round-trips per member instead of O(kMaxFds).
 #ifndef SRC_CORE_SHADDR_H_
 #define SRC_CORE_SHADDR_H_
 
+#include <atomic>
 #include <vector>
 
 #include "base/thread_annotations.h"
@@ -39,6 +63,36 @@
 #include "vm/shared_space.h"
 
 namespace sg {
+
+// Lanes of the packed resource-generation word. The fds lane mirrors the
+// low bits of the full-width fd_gen_; the scalar lanes are free-running
+// modular counters. Lane widths bound how far a member may lag before the
+// word compare could alias (2^bits updates); the updater closes that hole
+// by falling back to a FlagOthers walk whenever a lane wraps to 0, so the
+// p_flag bit forces the pull no matter what the word compare says.
+struct ResLane {
+  u32 shift;
+  u32 bits;
+};
+inline constexpr ResLane kLaneFds{0, 16};
+inline constexpr ResLane kLaneDir{16, 12};
+inline constexpr ResLane kLaneId{28, 12};
+inline constexpr ResLane kLaneUmask{40, 12};
+inline constexpr ResLane kLaneUlimit{52, 12};
+
+constexpr u64 LaneLimit(ResLane l) { return u64{1} << l.bits; }
+constexpr u64 LaneMask(ResLane l) { return (LaneLimit(l) - 1) << l.shift; }
+constexpr u64 LaneGet(u64 word, ResLane l) { return (word >> l.shift) & (LaneLimit(l) - 1); }
+constexpr u64 LaneSet(u64 word, ResLane l, u64 v) {
+  return (word & ~LaneMask(l)) | ((v & (LaneLimit(l) - 1)) << l.shift);
+}
+
+// One master descriptor-table slot: the entry plus the fd_gen_ value of
+// its last change (0 = never touched since the block was created).
+struct MasterFdSlot {
+  FdEntry e;
+  u64 gen = 0;
+};
 
 class ShaddrBlock {
  public:
@@ -65,6 +119,9 @@ class ShaddrBlock {
   // ----- member chain (s_plink/s_refcnt/s_listlock) -----
   // Links `child` with its (already strict-inheritance-masked) share mask.
   // If PR_SADDR is set the child's address space joins the shared image.
+  // The caller seeds the child's p_resgen/p_fd_synced_gen from its own
+  // (the child's u-area is a copy of the caller's, so it is exactly as
+  // stale as the caller).
   void AddMember(Proc& child, u32 shmask);
 
   // Like AddMember, but fails (returns false) if the group is already
@@ -105,13 +162,13 @@ class ShaddrBlock {
   // Update protocol ("the share block is locked for update, the resource is
   // modified, a copy is made in the shared address block, each sharing
   // group member's p_flag word is updated, and the lock is released" —
-  // plus the double-update check: "it is important that the second process
-  // be synchronized prior to being allowed to update the resource. This is
-  // handled by also checking the synchronization bits after acquiring the
-  // lock"):
+  // except that "each member's p_flag is updated" is now "the resource's
+  // generation lane is bumped": O(1) in group size. The double-update
+  // check survives unchanged: after acquiring the lock the updater first
+  // synchronizes its own stale copy, then applies its change):
   //
-  //   lock -> pull-if-flagged -> apply caller's change -> copy to master ->
-  //   flag the other sharing members -> unlock.
+  //   lock -> pull-if-stale -> apply caller's change -> copy to master ->
+  //   bump the resource's generation lane -> unlock.
   //
   // File-descriptor updates are single-threaded by fupdsema_ (s_fupdsema)
   // and bracket a whole open/close/dup in the syscall layer; the small
@@ -137,7 +194,13 @@ class ShaddrBlock {
     lockdep::OnRelease(FupdsemaClass(), this);
     fupdsema_.V();
   }
+  // Delta pull: copies only master slots stamped newer than the member's
+  // last-synced generation. A member flagged with kPfSyncFds (forced
+  // resync: PR_JOINGROUP, lane wrap) reconciles every slot instead.
   void PullFdsIfFlagged(Proc& p) SG_REQUIRES(fupdsema_);
+  // Delta publish: diffs `p`'s table against the master and touches only
+  // changed slots (refcount traffic proportional to the change, not the
+  // table), stamping them with a fresh table generation.
   void PublishFds(Proc& p) SG_REQUIRES(fupdsema_);
 
   // Scalar resources; null/unset arguments leave that field as-is.
@@ -146,10 +209,14 @@ class ShaddrBlock {
   void UpdateUmask(Proc& p, mode_t value);
   void UpdateUlimit(Proc& p, u64 value);
 
-  // Kernel-entry hook: tests p_flag in one AND; pulls whatever is flagged.
-  // "When a shared process enters the system via a system call, the
-  // collection of bits in p_flag is checked in a single test."
+  // Kernel-entry hook. "When a shared process enters the system via a
+  // system call, the collection of bits in p_flag is checked in a single
+  // test" — the single test is now the packed-word compare (plus the
+  // legacy bit AND for forced resyncs); pulls whatever lane is stale.
   void SyncOnKernelEntry(Proc& p);
+
+  // The block's current packed resource-generation word (tests, /proc).
+  u64 resgen() const { return resgen_.load(std::memory_order_acquire); }
 
   // Test/diagnostic accessors for the master copies.
   mode_t cmask() const;
@@ -158,7 +225,10 @@ class ShaddrBlock {
   gid_t gid() const;
   Inode* cdir() const;
   Inode* rdir() const;
-  int OfileCount() const;
+  // Used descriptors in the master table. Maintained incrementally at
+  // publish so the /proc/share snapshot is one atomic load, not a
+  // kMaxFds walk under a lock.
+  int OfileCount() const { return ofile_count_.load(std::memory_order_acquire); }
 
  private:
   // Lockdep class of the fupdsema_ bracket (the semaphore itself is a
@@ -169,11 +239,22 @@ class ShaddrBlock {
     return id;
   }
 
+  // Bumps `lane` of resgen_ by one (CAS: the fds lane and the scalar lanes
+  // are bumped under different locks, so a plain RMW could carry into a
+  // neighbor lane). Returns the new lane value; 0 means the lane wrapped
+  // and the caller must FlagOthers so a member exactly 2^bits updates
+  // behind cannot alias the word compare.
+  u64 BumpScalarLane(ResLane lane);
+  // Sets the fds lane to the low bits of `fd_gen` (same CAS discipline).
+  void StoreFdsLane(u64 fd_gen);
+
   // Sets `bit` in every member (except `self`) whose share mask includes
-  // `resource`.
+  // `resource`. O(members): only the wrap fallback and forced-resync
+  // paths use it now.
   void FlagOthers(Proc& self, u32 resource, u32 bit);
 
-  // Kernel-entry pulls: refresh the member's private copy from the master.
+  // Kernel-entry pulls: refresh the member's private copy from the master
+  // and adopt the lane into the member's cached word.
   void PullDir(Proc& p);
   void PullIds(Proc& p);
   void PullUmask(Proc& p);
@@ -188,10 +269,23 @@ class ShaddrBlock {
   u32 refcnt_ SG_GUARDED_BY(listlock_) = 0;         // s_refcnt
 
   Semaphore fupdsema_{1};  // s_fupdsema
-  // s_ofile + s_pofile. Mutated only inside the fupdsema_ bracket, but the
-  // vector itself is swapped/read under rupdlock_ so /proc snapshots can
-  // walk it without joining the bracket.
-  std::vector<FdEntry> ofile_ SG_GUARDED_BY(rupdlock_);
+  // s_ofile + s_pofile: the master descriptor table, generation-stamped
+  // per slot. Touched only inside the fupdsema_ bracket; the /proc
+  // snapshot reads the incremental ofile_count_ instead of walking it.
+  std::vector<MasterFdSlot> ofile_ SG_GUARDED_BY(fupdsema_);
+  // Full-width master-table generation; bumped once per publish that
+  // changed anything. Slots are stamped with it; members remember the
+  // value they last synced to (Proc::p_fd_synced_gen).
+  u64 fd_gen_ SG_GUARDED_BY(fupdsema_) = 1;
+  std::atomic<int> ofile_count_{0};
+
+  // The packed per-resource generation word (see lane constants above).
+  // Scalar lanes are bumped under rupdlock_, the fds lane under the
+  // fupdsema_ bracket; cross-lane concurrency is resolved by CAS.
+  std::atomic<u64> resgen_{LaneSet(LaneSet(LaneSet(LaneSet(LaneSet(0, kLaneFds, 1), kLaneDir, 1),
+                                                   kLaneId, 1),
+                                           kLaneUmask, 1),
+                                   kLaneUlimit, 1)};
 
   mutable Spinlock rupdlock_{"shaddr.rupdlock"};  // s_rupdlock
   Inode* cdir_ SG_GUARDED_BY(rupdlock_) = nullptr;  // s_cdir

@@ -7,13 +7,19 @@
 namespace sg {
 
 Result<OpenFile*> FileTable::Alloc(Inode* ip, u32 flags) {
-  MutexGuard l(mu_);
-  if (table_.size() >= max_files_) {
+  // Claim a slot in the global budget first; roll back on ENFILE. This is
+  // the only table-wide serialization point and it is one fetch_add.
+  if (count_.fetch_add(1, std::memory_order_acq_rel) >= max_files_) {
+    count_.fetch_sub(1, std::memory_order_acq_rel);
     return Errno::kENFILE;
   }
   auto f = std::make_unique<OpenFile>(ip, flags);
   OpenFile* raw = f.get();
-  table_.emplace(raw, std::make_pair(std::move(f), 1u));
+  {
+    Shard& s = ShardFor(raw);
+    MutexGuard l(s.mu);
+    s.owned.emplace(raw, std::move(f));
+  }
   if (ip->type() == InodeType::kPipe) {
     if ((flags & kOpenRead) != 0) {
       ip->pipe()->AddReader();
@@ -27,26 +33,34 @@ Result<OpenFile*> FileTable::Alloc(Inode* ip, u32 flags) {
 
 OpenFile* FileTable::Dup(OpenFile* f) {
   SG_INJECT_POINT("file.dup");
-  MutexGuard l(mu_);
-  auto it = table_.find(f);
-  SG_CHECK(it != table_.end());
-  ++it->second.second;
+  const u32 prev = f->refs_.fetch_add(1, std::memory_order_relaxed);
+  SG_CHECK(prev > 0);  // duping a dead entry would resurrect freed state
   return f;
 }
 
 void FileTable::Release(OpenFile* f) {
   SG_INJECT_POINT("file.release");
+  // acq_rel: the release half publishes this holder's writes (offset etc.)
+  // to whoever frees; the acquire half makes the freeing thread see them.
+  const u32 prev = f->refs_.fetch_sub(1, std::memory_order_acq_rel);
+  SG_CHECK(prev > 0);
+  if (prev > 1) {
+    return;
+  }
+  // Zero crossing: nobody else holds a reference (every Dup starts from a
+  // live reference), so `f` is exclusively ours — take the shard lock only
+  // to unhook the entry from the ownership map.
+  SG_INJECT_POINT("file.release.last");
   std::unique_ptr<OpenFile> dying;
   {
-    MutexGuard l(mu_);
-    auto it = table_.find(f);
-    SG_CHECK(it != table_.end() && it->second.second > 0);
-    if (--it->second.second > 0) {
-      return;
-    }
-    dying = std::move(it->second.first);
-    table_.erase(it);
+    Shard& s = ShardFor(f);
+    MutexGuard l(s.mu);
+    auto it = s.owned.find(f);
+    SG_CHECK(it != s.owned.end());
+    dying = std::move(it->second);
+    s.owned.erase(it);
   }
+  count_.fetch_sub(1, std::memory_order_acq_rel);
   Inode* ip = dying->inode();
   if (ip->type() == InodeType::kPipe) {
     if (dying->readable()) {
@@ -60,14 +74,12 @@ void FileTable::Release(OpenFile* f) {
 }
 
 u32 FileTable::RefCount(const OpenFile* f) const {
-  MutexGuard l(mu_);
-  auto it = table_.find(f);
-  return it == table_.end() ? 0 : it->second.second;
-}
-
-u64 FileTable::Count() const {
-  MutexGuard l(mu_);
-  return table_.size();
+  // Diagnostic/test path: look the entry up so a freed pointer reads 0
+  // instead of touching dead memory.
+  const Shard& s = ShardFor(f);
+  MutexGuard l(s.mu);
+  auto it = s.owned.find(f);
+  return it == s.owned.end() ? 0 : it->second->refs_.load(std::memory_order_acquire);
 }
 
 Result<int> FdTable::AllocSlot(OpenFile* f) {

@@ -8,6 +8,10 @@
 #ifndef SRC_FS_FILE_H_
 #define SRC_FS_FILE_H_
 
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -29,8 +33,9 @@ inline constexpr u32 kOpenExcl = 1u << 5;
 inline constexpr u32 kOpenRdwr = kOpenRead | kOpenWrite;
 
 // One system file-table entry: an open instance of an inode with its own
-// offset and mode. Reference-counted: descriptors (and the share block's
-// master copy) hold counted references.
+// offset and mode. Reference-counted through the intrusive atomic count:
+// descriptors (and the share block's master copy) hold counted references,
+// so Dup/Release are one fetch_add/fetch_sub with no table lookup.
 class OpenFile {
  public:
   OpenFile(Inode* ip, u32 flags) : inode_(ip), flags_(flags) {}
@@ -43,32 +48,31 @@ class OpenFile {
   bool writable() const { return (flags_ & kOpenWrite) != 0; }
 
   // Offset, shared by every descriptor referencing this entry (dup(2) and
-  // fork(2) semantics — and share-group members sharing PR_SFDS).
-  u64 offset() const {
-    MutexGuard l(mu_);
-    return offset_;
-  }
-  void set_offset(u64 off) {
-    MutexGuard l(mu_);
-    offset_ = off;
-  }
-  // Atomically advances the offset by `n` starting from `from`.
-  u64 AdvanceOffset(u64 n) {
-    MutexGuard l(mu_);
-    const u64 at = offset_;
-    offset_ += n;
-    return at;
-  }
+  // fork(2) semantics — and share-group members sharing PR_SFDS). Plain
+  // atomics: concurrent readers each advance by what they consumed, like
+  // two processes sharing a file table entry on a real kernel — no mutex
+  // on the per-byte I/O path.
+  u64 offset() const { return offset_.load(std::memory_order_relaxed); }
+  void set_offset(u64 off) { offset_.store(off, std::memory_order_relaxed); }
+  // Atomically advances the offset by `n`, returning the pre-advance value.
+  u64 AdvanceOffset(u64 n) { return offset_.fetch_add(n, std::memory_order_relaxed); }
 
  private:
+  friend class FileTable;  // manages refs_ (Dup/Release/RefCount)
+
   Inode* inode_;
   u32 flags_;
-  mutable Mutex mu_;
-  u64 offset_ SG_GUARDED_BY(mu_) = 0;
+  std::atomic<u64> offset_{0};
+  std::atomic<u32> refs_{1};  // intrusive count; created referenced
 };
 
 // The system-wide open file table. Allocation bumps the inode reference;
 // the final Release() drops it (and closes pipe endpoints).
+//
+// Dup/Release ride the intrusive refcount and touch no lock at all except
+// at the zero crossing; entry OWNERSHIP (the unique_ptrs) lives in
+// pointer-hashed shards so unrelated open/close streams do not serialize
+// on one global mutex + std::map.
 class FileTable {
  public:
   FileTable(InodeTable& inodes, u32 max_files) : inodes_(inodes), max_files_(max_files) {}
@@ -79,21 +83,35 @@ class FileTable {
   // in) with refcount 1; kENFILE when the table is full.
   Result<OpenFile*> Alloc(Inode* ip, u32 flags);
 
-  // Takes an extra reference (dup/fork/share-block copy).
+  // Takes an extra reference (dup/fork/share-block copy). Lock-free.
   OpenFile* Dup(OpenFile* f);
 
-  // Drops a reference; the entry closes when it reaches zero.
+  // Drops a reference; the entry closes when it reaches zero (only the
+  // zero crossing takes the owning shard's lock, to free the entry).
   void Release(OpenFile* f);
 
   u32 RefCount(const OpenFile* f) const;
-  u64 Count() const;
+  u64 Count() const { return count_.load(std::memory_order_acquire); }
 
  private:
+  static constexpr u32 kShards = 16;
+
+  struct alignas(64) Shard {
+    mutable Mutex mu;
+    std::map<const OpenFile*, std::unique_ptr<OpenFile>> owned SG_GUARDED_BY(mu);
+  };
+
+  Shard& ShardFor(const OpenFile* f) const {
+    // Mix the pointer bits (fibonacci hashing) so allocator address
+    // patterns don't pile onto one shard.
+    const auto h = reinterpret_cast<std::uintptr_t>(f) * 0x9e3779b97f4a7c15ull;
+    return shards_[(h >> 32) % kShards];
+  }
+
   InodeTable& inodes_;
   u32 max_files_;
-  mutable Mutex mu_;
-  std::map<const OpenFile*, std::pair<std::unique_ptr<OpenFile>, u32>> table_
-      SG_GUARDED_BY(mu_);
+  std::atomic<u64> count_{0};  // live entries across all shards
+  mutable std::array<Shard, kShards> shards_;
 };
 
 // One descriptor slot: the open-file pointer plus the per-descriptor flag

@@ -102,6 +102,12 @@ class Proc final : public ExecutionContext {
   std::atomic<u32> p_shmask{0};   // resources this member shares
   std::atomic<u32> p_flag{0};     // sync bits (see above)
   Proc* s_plink = nullptr;        // next member in the share group chain
+  // Generation caches for the §6.3 delta-sync protocol (DESIGN.md §4f).
+  // Owner-thread only: written by this process's own kernel entries and
+  // updates. Other members communicate through the block's generations and
+  // the p_flag bits, never by touching these.
+  u64 p_resgen = 0;         // packed per-resource gen word last synced against
+  u64 p_fd_synced_gen = 0;  // master fd-table generation our fd table reflects
 
   // ----- virtual memory -----
   AddressSpace as;

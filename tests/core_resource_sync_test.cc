@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <string>
 
 #include "api/kernel.h"
 #include "api/user_env.h"
+#include "obs/stats.h"
 
 namespace sg {
 namespace {
@@ -108,6 +110,59 @@ TEST(FdSharing, NonSharingMemberUnaffected) {
   });
 }
 
+TEST(FdSharing, Dup2AndCloexecPropagate) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    int fd = env.Open("/d2", kOpenWrite | kOpenCreat);
+    ASSERT_GE(fd, 0);
+    env.Sproc(
+        [fd](Env& c, long) {
+          EXPECT_EQ(c.Dup2(fd, 17), 17);
+          EXPECT_EQ(c.SetCloexec(fd, true), 0);
+        },
+        PR_SFDS);
+    env.WaitChild();
+    // Our next entry delta-pulls exactly the two touched slots: the dup'd
+    // descriptor works here, and the flag byte arrived with the original.
+    EXPECT_GE(env.WriteStr(17, "x"), 0);
+    EXPECT_TRUE(env.proc().fds.Slot(fd).close_on_exec);
+    // Both numbers refer to the same open-file entry (shared offset).
+    EXPECT_EQ(env.proc().fds.Get(fd).value(), env.proc().fds.Get(17).value());
+  });
+}
+
+TEST(FdSharing, SingleChangePullsSingleSlot) {
+  Kernel k;
+  RunAsProcess(k, [&](Env& env) {
+    // Fill 48 descriptors BEFORE the group forms; the child inherits a
+    // fully synchronized view of all of them.
+    for (int i = 0; i < 48; ++i) {
+      ASSERT_GE(env.Open("/bulk" + std::to_string(i), kOpenWrite | kOpenCreat), 0);
+    }
+    std::atomic<bool> go{false};
+    std::atomic<bool> pulled{false};
+    env.Sproc(
+        [&](Env& c, long) {
+          while (!go.load()) {
+          }
+          (void)c.UlimitGet();  // kernel entry: the measured delta pull
+          pulled = true;
+        },
+        PR_SFDS);
+    // One new descriptor: the publish stamps exactly one slot.
+    ASSERT_GE(env.Open("/one-more", kOpenWrite | kOpenCreat), 0);
+    const u64 before = obs::Stats::Global().CounterValue("core.fds.delta_pulled_slots");
+    go = true;
+    while (!pulled.load()) {
+    }
+    const u64 after = obs::Stats::Global().CounterValue("core.fds.delta_pulled_slots");
+    // O(changed), not O(table): 48 synced descriptors cost nothing, the one
+    // change costs one slot.
+    EXPECT_EQ(after - before, 1u);
+    env.WaitChild();
+  });
+}
+
 TEST(DirSharing, ChdirPropagatesToGroup) {
   Kernel k;
   RunAsProcess(k, [&](Env& env) {
@@ -179,31 +234,29 @@ TEST(IdSharing, SetuidPropagatesAndChangesAccess) {
   });
 }
 
-TEST(SyncBits, FlagSetOnOthersAndClearedOnEntry) {
+TEST(SyncBits, GenerationLagsOnOthersAndCatchesUpOnEntry) {
   Kernel k;
   RunAsProcess(k, [&](Env& env) {
     std::atomic<bool> gate{false};
-    std::atomic<u32> flag_during{0};
     env.Sproc(
         [&](Env& c, long) {
-          c.Umask(011);  // flags the parent
-          flag_during = env.proc().p_flag.load() & kPfSyncUmask;
+          c.Umask(011);
           gate = true;
-          // Hold so the parent's entry-sync happens while we are alive.
-          while (gate.load()) {
-            c.Yield();
-          }
         },
         PR_SUMASK);
+    // Wait in USER mode (no syscalls) so our stale window stays observable.
     while (!gate.load()) {
-      env.Yield();
     }
-    EXPECT_EQ(flag_during.load(), kPfSyncUmask);
-    // Any syscall is a kernel entry; it pulls the new value and clears the bit.
-    (void)env.UlimitGet();
+    // The child's update was O(1): it bumped the umask generation lane
+    // instead of walking the chain to set our p_flag bit...
     EXPECT_EQ(env.proc().p_flag.load() & kPfSyncUmask, 0u);
+    // ...so our cached word now lags the block's.
+    EXPECT_NE(env.proc().p_resgen, env.proc().shaddr->resgen());
+    // Any syscall is a kernel entry; the single packed-word compare catches
+    // the lag, pulls the umask lane, and the cache catches up.
+    (void)env.UlimitGet();
+    EXPECT_EQ(env.proc().p_resgen, env.proc().shaddr->resgen());
     EXPECT_EQ(env.Umask(011), 011);  // previous mask = the child's value
-    gate = false;
     env.WaitChild();
   });
 }

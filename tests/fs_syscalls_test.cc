@@ -199,9 +199,10 @@ TEST(FsCalls, UnlinkedCwdReportsDisconnected) {
 // /proc/share/<gid> path goes through ShaddrBlock::OfileCount) while a
 // PR_SFDS member grows it under s_fupdsema. PublishFds used to rebuild
 // the master vector in place — a concurrent reader could observe the
-// vector mid-realloc (use-after-free of the old backing store). The fix
-// builds the new table aside and swaps it in under s_rupdlock, which
-// OfileCount now also takes.
+// vector mid-realloc (use-after-free of the old backing store). Today the
+// snapshot reads the incrementally maintained atomic count and never walks
+// the vector at all; the race this pins down is the counter staying
+// coherent (and the process not crashing) under concurrent publishes.
 TEST(FsCalls, OfileSnapshotRacesGrowingMasterTable) {
   Kernel k;
   RunAsProcess(k, [&](Env& env) {

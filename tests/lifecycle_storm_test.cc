@@ -66,11 +66,29 @@ void FdChurn(Env& e, u64 rng_seed, int rounds) {
         const std::string path = "/s" + std::to_string(rng.Pick(8));
         int fd = e.Open(path, kOpenRdwr | kOpenCreat);
         if (fd >= 0) {
-          if (rng.Pick(2) == 0) {
-            int d = e.Dup(fd);
-            if (d >= 0) {
-              e.Close(d);
+          switch (rng.Pick(4)) {
+            case 0: {
+              int d = e.Dup(fd);
+              if (d >= 0) {
+                e.Close(d);
+              }
+              break;
             }
+            case 1: {
+              // Fixed-target dup2: members race to repoint the same slot,
+              // exercising delta publishes that REPLACE a live master slot.
+              int d = e.Dup2(fd, 40 + static_cast<int>(rng.Pick(4)));
+              if (d >= 0) {
+                e.Close(d);
+              }
+              break;
+            }
+            case 2:
+              // Flag-byte-only publish (slot gen bumps, no refcount move).
+              (void)e.SetCloexec(fd, rng.Pick(2) == 0);
+              break;
+            default:
+              break;
           }
           e.Close(fd);
         }

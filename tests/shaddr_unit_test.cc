@@ -30,6 +30,14 @@ struct Rig {
     vfs.inodes().Iput(p.rootdir);
     p.as.DetachAllPrivate();
   }
+  void ReleaseFds(Proc& p) {
+    for (FdEntry& e : p.fds.slots()) {
+      if (e.used()) {
+        vfs.files().Release(e.file);
+        e = FdEntry{};
+      }
+    }
+  }
 };
 
 TEST(ShaddrUnit, CreatorSeedsMasterCopies) {
@@ -88,7 +96,7 @@ TEST(ShaddrUnit, TryAddMemberRefusesDrainedBlock) {
   rig.DestroyProc(*b);
 }
 
-TEST(ShaddrUnit, FlagOthersRespectsPerResourceMasks) {
+TEST(ShaddrUnit, EntrySyncRespectsPerResourceMasks) {
   Rig rig;
   auto a = rig.MakeProc(1);
   auto b = rig.MakeProc(2);  // shares umask only
@@ -98,24 +106,110 @@ TEST(ShaddrUnit, FlagOthersRespectsPerResourceMasks) {
   block.AddMember(*c, PR_SULIMIT);
   a->umask = 011;
   block.UpdateUmask(*a, 011);
-  EXPECT_EQ(b->p_flag.load() & kPfSyncUmask, kPfSyncUmask);  // flagged
-  EXPECT_EQ(c->p_flag.load() & kPfSyncUmask, 0u);            // not sharing it
+  // O(1) updates: nobody's p_flag is touched; staleness is carried by the
+  // generation lanes alone.
+  EXPECT_EQ(b->p_flag.load() & kPfSyncAny, 0u);
+  EXPECT_EQ(c->p_flag.load() & kPfSyncAny, 0u);
   block.UpdateUlimit(*a, 999);
-  EXPECT_EQ(c->p_flag.load() & kPfSyncUlimit, kPfSyncUlimit);
-  EXPECT_EQ(b->p_flag.load() & kPfSyncUlimit, 0u);
-  // Each member's entry-sync pulls only its own resource.
+  // Each member's entry-sync pulls only the resources it shares; the other
+  // lanes are adopted without touching the member's private copies.
   block.SyncOnKernelEntry(*b);
   EXPECT_EQ(b->umask, 011);
   EXPECT_NE(b->ulimit, 999u);
+  EXPECT_EQ(b->p_resgen, block.resgen());  // fully caught up either way
   block.SyncOnKernelEntry(*c);
   EXPECT_EQ(c->ulimit, 999u);
   EXPECT_NE(c->umask, 011);
+  EXPECT_EQ(c->p_resgen, block.resgen());
   EXPECT_FALSE(block.RemoveMember(*b));
   EXPECT_FALSE(block.RemoveMember(*c));
   EXPECT_TRUE(block.RemoveMember(*a));
   rig.DestroyProc(*a);
   rig.DestroyProc(*b);
   rig.DestroyProc(*c);
+}
+
+TEST(ShaddrUnit, ScalarLaneWrapFallsBackToFlagging) {
+  Rig rig;
+  auto a = rig.MakeProc(1);
+  auto b = rig.MakeProc(2);
+  ShaddrBlock block(*a, rig.cpus, rig.vfs);
+  block.AddMember(*b, PR_SUMASK);
+  block.SyncOnKernelEntry(*b);  // start b fully caught up
+  // Drive the 12-bit umask lane all the way around. A member whose cached
+  // lane would alias (exactly 2^bits updates behind) must still be caught:
+  // the wrap falls back to the paper's p_flag walk, which forces the pull
+  // independently of the word compare.
+  bool flagged_at_wrap = false;
+  for (u64 i = 0; i < LaneLimit(kLaneUmask); ++i) {
+    block.UpdateUmask(*a, static_cast<mode_t>(i & 0777));
+    if ((b->p_flag.load() & kPfSyncUmask) != 0) {
+      flagged_at_wrap = true;
+    }
+  }
+  EXPECT_TRUE(flagged_at_wrap);
+  // After the full cycle b's cached lane EQUALS the block's lane again —
+  // only the forced bit makes the entry-sync pull the fresh value.
+  EXPECT_EQ(LaneGet(b->p_resgen, kLaneUmask), LaneGet(block.resgen(), kLaneUmask));
+  block.SyncOnKernelEntry(*b);
+  EXPECT_EQ(b->umask, a->umask);
+  EXPECT_EQ(b->p_flag.load() & kPfSyncUmask, 0u);
+  EXPECT_FALSE(block.RemoveMember(*b));
+  EXPECT_TRUE(block.RemoveMember(*a));
+  rig.DestroyProc(*a);
+  rig.DestroyProc(*b);
+}
+
+TEST(ShaddrUnit, FdLaneWrapFallsBackToFlagging) {
+  Rig rig;
+  auto a = rig.MakeProc(1);
+  auto b = rig.MakeProc(2);
+  // a holds one open file in slot 0 before the group forms, so the block's
+  // master copy seeds with it.
+  OpenFile* f = rig.vfs.files().Alloc(rig.vfs.inodes().Iget(rig.vfs.root()), kOpenRead).value();
+  ASSERT_TRUE(a->fds.SetSlot(0, f, false).ok());
+  {
+    ShaddrBlock block(*a, rig.cpus, rig.vfs);
+    block.AddMember(*b, PR_SFDS);
+    // Raw attach (no sproc seeding): force a full reconcile, the same way
+    // PR_JOINGROUP initializes a dynamic joiner.
+    b->p_flag.fetch_or(kPfSyncFds, std::memory_order_acq_rel);
+    block.LockFileUpdate();
+    block.PullFdsIfFlagged(*b);  // b catches up (and dups slot 0)
+    block.UnlockFileUpdate();
+    EXPECT_EQ(rig.vfs.files().RefCount(f), 3u);  // a + master + b
+
+    // Drive the full-width table generation around the 16-bit lane mirror
+    // by toggling slot 0's flag byte (one changed slot per publish, no
+    // refcount traffic). After 2^16 publishes b's cached lane ALIASES the
+    // block's again; only the wrap's FlagOthers fallback can catch it.
+    bool flagged_at_wrap = false;
+    for (u64 i = 0; i < LaneLimit(kLaneFds); ++i) {
+      a->fds.Slot(0).close_on_exec = !a->fds.Slot(0).close_on_exec;
+      block.LockFileUpdate();
+      block.PullFdsIfFlagged(*a);
+      block.PublishFds(*a);
+      block.UnlockFileUpdate();
+      if ((b->p_flag.load() & kPfSyncFds) != 0) {
+        flagged_at_wrap = true;
+      }
+    }
+    EXPECT_TRUE(flagged_at_wrap);
+    EXPECT_EQ(LaneGet(b->p_resgen, kLaneFds), LaneGet(block.resgen(), kLaneFds));
+    // The forced (flag-driven) pull reconciles despite the lane alias.
+    block.SyncOnKernelEntry(*b);
+    EXPECT_EQ(b->fds.Slot(0).close_on_exec, a->fds.Slot(0).close_on_exec);
+    EXPECT_EQ(b->p_flag.load() & kPfSyncFds, 0u);
+
+    rig.ReleaseFds(*a);
+    rig.ReleaseFds(*b);
+    EXPECT_FALSE(block.RemoveMember(*b));
+    EXPECT_TRUE(block.RemoveMember(*a));
+  }
+  // Refcount balance: member slots and the block's master copy all dropped.
+  EXPECT_EQ(rig.vfs.files().Count(), 0u);
+  rig.DestroyProc(*a);
+  rig.DestroyProc(*b);
 }
 
 }  // namespace

@@ -66,6 +66,19 @@ if [ -n "${unregistered}" ]; then
   fail=1
 fi
 
+# 2c. The master descriptor table is private to the fupdsema_ bracket:
+#     nothing outside core/shaddr.{h,cc} may touch ofile_ slots directly.
+#     Syscall code goes through LockFileUpdate / PullFdsIfFlagged /
+#     PublishFds / UnlockFileUpdate so every write is generation-stamped.
+hits=$(grep -rn 'ofile_' "${repo}/src" --include='*.h' --include='*.cc' \
+         | grep -v '^[^:]*src/core/shaddr\.\(h\|cc\):' || true)
+if [ -n "${hits}" ]; then
+  echo "lint: direct ofile_ access outside src/core/shaddr.{h,cc} (use the" >&2
+  echo "      fupdsema update bracket: PullFdsIfFlagged/PublishFds):" >&2
+  echo "${hits}" >&2
+  fail=1
+fi
+
 if [ "${fail}" -ne 0 ]; then
   echo "lint: FAIL" >&2
   exit 1
