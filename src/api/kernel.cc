@@ -87,6 +87,15 @@ std::vector<obs::GroupStatus> Kernel::SnapshotGroups() {
       g.lock_update_wait_count = lk.update_wait_histo().count();
       g.lock_update_wait_sum_ns = lk.update_wait_histo().sum_ns();
       g.ofiles = owned->OfileCount();
+      rm::GroupNode* node = owned->rm_node();
+      g.rm_shares = node->shares();
+      g.rm_usage_ns = static_cast<u64>(node->DecayedUsage());
+      constexpr rm::Resource kRes[3] = {rm::Resource::kMembers, rm::Resource::kFiles,
+                                        rm::Resource::kPages};
+      for (int i = 0; i < 3; ++i) {
+        g.rm_cap[i] = node->cap(kRes[i]);
+        g.rm_used[i] = node->used(kRes[i]);
+      }
       out.push_back(std::move(g));
     }
   }

@@ -32,6 +32,7 @@
 #include "proc/proc.h"
 #include "proc/proc_table.h"
 #include "proc/scheduler.h"
+#include "rm/rm.h"
 #include "vm/vm_ops.h"
 
 namespace sg {
@@ -191,6 +192,7 @@ class Kernel {
 
   // ----- introspection (tests, benches) -----
   Scheduler& sched() { return sched_; }
+  rm::ResourceManager& rm() { return rm_; }
   CpuSet& cpus() { return cpus_; }
   PhysMem& mem() { return mem_; }
   SwapSpace* swap() { return swap_.get(); }
@@ -246,6 +248,9 @@ class Kernel {
   std::unique_ptr<SwapSpace> swap_;  // null when booted without swap
   CpuSet cpus_;
   Scheduler sched_;
+  // The fair-share hierarchy. Declared before blocks_ (and thus destroyed
+  // after it): every ShaddrBlock releases its rm node at teardown.
+  rm::ResourceManager rm_;
   Vfs vfs_;
   ProcTable procs_;
   SysvIpc ipc_;

@@ -19,6 +19,32 @@
 
 namespace sg {
 
+namespace {
+
+// Headroom check against the group's fd cap (src/rm/). Valid only inside the
+// s_fupdsema bracket after the pull: there the rm node's kFiles `used` equals
+// the master table's population, so `used + delta <= cap` is an exact
+// admission test. The charge itself moves with PublishFds — this never
+// charges, so no unwind is needed on later failure.
+bool FdCapAllows(ShaddrBlock* b, u64 delta) {
+  if (b == nullptr) {
+    return true;  // private fd table: no group, no cap
+  }
+  if (SG_INJECT_FAULT("rm.cap.files")) {
+    SG_OBS_INC("rm.cap.denied.files");
+    return false;
+  }
+  rm::GroupNode* n = b->rm_node();
+  const u64 cap = n->cap(rm::Resource::kFiles);
+  if (cap == 0 || n->used(rm::Resource::kFiles) + delta <= cap) {
+    return true;
+  }
+  SG_OBS_INC("rm.cap.denied.files");
+  return false;
+}
+
+}  // namespace
+
 Result<int> Kernel::Open(Proc& p, std::string_view path, u32 flags, mode_t mode) SG_NO_THREAD_SAFETY_ANALYSIS {
   SyscallEnter(p);
   SG_OBS_SYSCALL("open");
@@ -28,20 +54,24 @@ Result<int> Kernel::Open(Proc& p, std::string_view path, u32 flags, mode_t mode)
     b->PullFdsIfFlagged(p);
   }
   Result<int> result = Errno::kEINVAL;
-  auto f = SG_INJECT_FAULT("open")
-               ? Result<OpenFile*>(Errno::kENFILE)  // injected: file table full
-               : vfs_.Open(p.cwd, p.rootdir, CredOf(p), path, flags, mode, p.umask);
-  if (!f.ok()) {
-    result = f.error();
+  if (!FdCapAllows(b, 1)) {
+    result = Errno::kEAGAIN;
   } else {
-    auto fd = p.fds.AllocSlot(f.value());
-    if (!fd.ok()) {
-      vfs_.files().Release(f.value());
-      result = fd.error();
+    auto f = SG_INJECT_FAULT("open")
+                 ? Result<OpenFile*>(Errno::kENFILE)  // injected: file table full
+                 : vfs_.Open(p.cwd, p.rootdir, CredOf(p), path, flags, mode, p.umask);
+    if (!f.ok()) {
+      result = f.error();
     } else {
-      result = fd.value();
-      if (b != nullptr) {
-        b->PublishFds(p);
+      auto fd = p.fds.AllocSlot(f.value());
+      if (!fd.ok()) {
+        vfs_.files().Release(f.value());
+        result = fd.error();
+      } else {
+        result = fd.value();
+        if (b != nullptr) {
+          b->PublishFds(p);
+        }
       }
     }
   }
@@ -87,7 +117,9 @@ Result<int> Kernel::Dup(Proc& p, int fd) SG_NO_THREAD_SAFETY_ANALYSIS {
   }
   Result<int> result = Errno::kEBADF;
   auto f = p.fds.Get(fd);
-  if (f.ok()) {
+  if (f.ok() && !FdCapAllows(b, 1)) {
+    result = Errno::kEAGAIN;
+  } else if (f.ok()) {
     auto slot = p.fds.AllocSlot(vfs_.files().Dup(f.value()));
     if (!slot.ok()) {
       vfs_.files().Release(f.value());
@@ -119,6 +151,9 @@ Result<int> Kernel::Dup2(Proc& p, int fd, int newfd) SG_NO_THREAD_SAFETY_ANALYSI
   if (f.ok() && p.fds.ValidFd(newfd)) {
     if (fd == newfd) {
       result = newfd;
+    } else if (!p.fds.Slot(newfd).used() && !FdCapAllows(b, 1)) {
+      // Only a dup onto an EMPTY slot grows the table; replacing counts 0.
+      result = Errno::kEAGAIN;
     } else {
       auto old = p.fds.ClearSlot(newfd);
       if (old.ok()) {
@@ -182,24 +217,28 @@ Result<std::pair<int, int>> Kernel::MakePipe(Proc& p) SG_NO_THREAD_SAFETY_ANALYS
     b->PullFdsIfFlagged(p);
   }
   Result<std::pair<int, int>> result = Errno::kENFILE;
-  auto made = vfs_.MakePipe();
-  if (!made.ok()) {
-    result = made.error();
+  if (!FdCapAllows(b, 2)) {  // a pipe admits both ends or neither
+    result = Errno::kEAGAIN;
   } else {
-    auto [rd, wr] = made.value();
-    auto rfd = p.fds.AllocSlot(rd);
-    auto wfd = rfd.ok() ? p.fds.AllocSlot(wr) : Result<int>(Errno::kEMFILE);
-    if (!rfd.ok() || !wfd.ok()) {
-      if (rfd.ok()) {
-        p.fds.ClearSlot(rfd.value()).value();
-      }
-      vfs_.files().Release(rd);
-      vfs_.files().Release(wr);
-      result = Errno::kEMFILE;
+    auto made = vfs_.MakePipe();
+    if (!made.ok()) {
+      result = made.error();
     } else {
-      result = std::make_pair(rfd.value(), wfd.value());
-      if (b != nullptr) {
-        b->PublishFds(p);
+      auto [rd, wr] = made.value();
+      auto rfd = p.fds.AllocSlot(rd);
+      auto wfd = rfd.ok() ? p.fds.AllocSlot(wr) : Result<int>(Errno::kEMFILE);
+      if (!rfd.ok() || !wfd.ok()) {
+        if (rfd.ok()) {
+          p.fds.ClearSlot(rfd.value()).value();
+        }
+        vfs_.files().Release(rd);
+        vfs_.files().Release(wr);
+        result = Errno::kEMFILE;
+      } else {
+        result = std::make_pair(rfd.value(), wfd.value());
+        if (b != nullptr) {
+          b->PublishFds(p);
+        }
       }
     }
   }

@@ -1,5 +1,7 @@
 // Process creation and the paper's sproc(2)/prctl(2) interface (§5), plus
 // the identity/limit syscalls whose values share groups can propagate.
+#include <limits>
+
 #include "api/kernel.h"
 #include "obs/stats.h"
 #include "api/user_env.h"
@@ -38,6 +40,9 @@ Status Kernel::AllocStack(Proc& p, bool shared_stack) {
     auto pr = std::make_unique<Pregion>(Region::Alloc(mem_, RegionType::kStack, pages),
                                         base.value(), kProtRw);
     pr->stack_owner = p.pid;
+    // The stack joins the shared image, so its resident pages count against
+    // the group's page cap from the first fault on.
+    pr->region->SetCharge(ss.page_charge());
     ss.pregions().push_back(std::move(pr));
     p.stack_base = base.value();
     return Status::Ok();
@@ -159,7 +164,7 @@ Result<pid_t> Kernel::Sproc(Proc& p, UserFn entry, u32 shmask, long arg) {
   }
   // "The first use of the sproc() call creates a share group."
   if (p.shaddr == nullptr) {
-    auto block = std::make_unique<ShaddrBlock>(p, cpus_, vfs_);
+    auto block = std::make_unique<ShaddrBlock>(p, cpus_, vfs_, rm_);
     std::lock_guard<std::mutex> l(blocks_mu_);
     blocks_.emplace(block.get(), std::move(block));
   }
@@ -170,8 +175,17 @@ Result<pid_t> Kernel::Sproc(Proc& p, UserFn entry, u32 shmask, long arg) {
     SyscallExit(p);
     return Errno::kEAGAIN;  // injected: process table pressure
   }
+  // Admission control (src/rm/): the member cap is charged before the child
+  // exists; every path below on which the child never attaches uncharges.
+  // (RemoveMember owns the uncharge once the child IS attached.)
+  if (SG_INJECT_FAULT("rm.cap.members") ||
+      !block->rm_node()->TryCharge(rm::Resource::kMembers, 1)) {
+    SyscallExit(p);
+    return Errno::kEAGAIN;  // group at its member cap
+  }
   auto alloc = procs_.Alloc();
   if (!alloc.ok()) {
+    block->rm_node()->Uncharge(rm::Resource::kMembers, 1);
     SyscallExit(p);
     return alloc.error();
   }
@@ -204,9 +218,15 @@ Result<pid_t> Kernel::Sproc(Proc& p, UserFn entry, u32 shmask, long arg) {
     }
   }
   if (!st.ok()) {
-    if (c->shaddr != nullptr && block->RemoveMember(*c)) {
-      std::lock_guard<std::mutex> l(blocks_mu_);
-      blocks_.erase(block);
+    if (c->shaddr != nullptr) {
+      // RemoveMember returns the charged member slot.
+      if (block->RemoveMember(*c)) {
+        std::lock_guard<std::mutex> l(blocks_mu_);
+        blocks_.erase(block);
+      }
+    } else {
+      // The child never attached; return its admission charge ourselves.
+      block->rm_node()->Uncharge(rm::Resource::kMembers, 1);
     }
     AbortEmbryo(*this, c);
     SyscallExit(p);
@@ -356,7 +376,15 @@ Result<i64> Kernel::Prctl(Proc& p, u32 option, i64 value) {
             return;  // target not in a (live) group
           }
           constexpr u32 kJoinMask = PR_SALL & ~PR_SADDR;
+          // Same admission seam as sproc: the joiner is charged against the
+          // member cap before it can attach.
+          if (SG_INJECT_FAULT("rm.cap.members") ||
+              !b->rm_node()->TryCharge(rm::Resource::kMembers, 1)) {
+            join_result = Errno::kEAGAIN;
+            return;
+          }
           if (!b->TryAddMember(p, kJoinMask)) {
+            b->rm_node()->Uncharge(rm::Resource::kMembers, 1);
             return;  // the group drained under us
           }
           join_result = static_cast<i64>(kJoinMask);
@@ -368,6 +396,37 @@ Result<i64> Kernel::Prctl(Proc& p, u32 option, i64 value) {
         p.shaddr->SyncOnKernelEntry(p);
       }
       r = join_result;
+      break;
+    }
+    case PR_SETSHARES: {
+      // Fair-share weight of the caller's group (src/rm/). Returns the
+      // shares now in effect (the manager clamps 0 to 1).
+      if (p.shaddr == nullptr || value < 0 ||
+          value > static_cast<i64>(std::numeric_limits<u32>::max())) {
+        break;
+      }
+      r = static_cast<i64>(rm_.SetShares(p.shaddr->rm_node(), static_cast<u32>(value)));
+      break;
+    }
+    case PR_SETRCAP: {
+      // Per-group capacity cap; value packs (resource, cap) — see
+      // share_mask.h. Returns the cap now in effect (0 = unlimited).
+      if (p.shaddr == nullptr || value < 0) {
+        break;
+      }
+      const u32 res = PrRcapResource(value);
+      const u64 cap = PrRcapCap(value);
+      rm::GroupNode* node = p.shaddr->rm_node();
+      if (res == PR_RCAP_MEMBERS) {
+        node->SetCap(rm::Resource::kMembers, cap);
+      } else if (res == PR_RCAP_FILES) {
+        node->SetCap(rm::Resource::kFiles, cap);
+      } else if (res == PR_RCAP_PAGES) {
+        node->SetCap(rm::Resource::kPages, cap);
+      } else {
+        break;  // unknown resource selector
+      }
+      r = static_cast<i64>(cap);
       break;
     }
     default:

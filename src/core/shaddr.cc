@@ -22,10 +22,15 @@ std::atomic<u64> g_next_group_id{1};
 
 }  // namespace
 
-ShaddrBlock::ShaddrBlock(Proc& creator, CpuSet& cpus, Vfs& vfs)
+ShaddrBlock::ShaddrBlock(Proc& creator, CpuSet& cpus, Vfs& vfs, rm::ResourceManager& rm)
     : vfs_(vfs),
       space_(cpus),
-      id_(g_next_group_id.fetch_add(1, std::memory_order_relaxed)) {
+      id_(g_next_group_id.fetch_add(1, std::memory_order_relaxed)),
+      rm_(rm),
+      node_(rm.CreateNode()) {
+  // Every region that joins the group image is pointed at the group's rm
+  // node so resident pages count against the group's page cap.
+  space_.set_page_charge(node_);
   // Move the creator's sharable pregions onto the shared list (§6.2: "When
   // a process first creates a share group all of its sharable pregions are
   // moved to the list of pregions in the shared address block"). Nobody
@@ -37,6 +42,7 @@ ShaddrBlock::ShaddrBlock(Proc& creator, CpuSet& cpus, Vfs& vfs)
       if ((*it)->base >= kArenaBase) {
         SG_CHECK(space_.va().Reserve((*it)->base, (*it)->region->pages()).ok());
       }
+      (*it)->region->SetCharge(node_);
       space_.pregions().push_back(std::move(*it));
       it = priv.erase(it);
     } else {
@@ -63,6 +69,10 @@ ShaddrBlock::ShaddrBlock(Proc& creator, CpuSet& cpus, Vfs& vfs)
     ofile_.push_back(s);
   }
   ofile_count_.store(used, std::memory_order_release);
+  // Forced charges: the founder's pre-existing usage can never bounce (no
+  // cap is configurable before the group exists).
+  node_->ChargeForced(rm::Resource::kFiles, static_cast<u64>(used));
+  node_->ChargeForced(rm::Resource::kMembers, 1);
   cdir_ = vfs_.inodes().Iget(creator.cwd);
   rdir_ = vfs_.inodes().Iget(creator.rootdir);
   cmask_ = creator.umask;
@@ -78,11 +88,21 @@ ShaddrBlock::ShaddrBlock(Proc& creator, CpuSet& cpus, Vfs& vfs)
   plink_ = &creator;
   creator.s_plink = nullptr;
   refcnt_ = 1;
+  creator.rm_node.store(node_, std::memory_order_release);
   creator.shaddr = this;
   creator.p_shmask = PR_SALL;
 }
 
 ShaddrBlock::~ShaddrBlock() {
+  // Cut every surviving image region loose from the rm node before the
+  // node dies. Text/SysV regions may outlive the block through other
+  // owners (fork children, the IPC registry); after this their pages are
+  // simply unaccounted.
+  for (auto& pr : space_.pregions()) {
+    pr->region->SetCharge(nullptr);
+  }
+  space_.set_page_charge(nullptr);
+  rm_.ReleaseNode(node_);
   for (const MasterFdSlot& s : ofile_) {
     if (s.e.used()) {
       vfs_.files().Release(s.e.file);
@@ -98,7 +118,10 @@ ShaddrBlock::~ShaddrBlock() {
 
 void ShaddrBlock::AddMember(Proc& child, u32 shmask) {
   // Identity first, link second: once the child hangs off plink_, chain
-  // walkers (FlagOthers, the /proc snapshots) read its mask.
+  // walkers (FlagOthers, the /proc snapshots) read its mask. The rm node
+  // travels with the identity: the member schedules on the group's account
+  // from its first instruction. (The caller already charged kMembers.)
+  child.rm_node.store(node_, std::memory_order_release);
   child.shaddr = this;
   child.p_shmask = shmask;
   SG_INJECT_POINT("shaddr.attach.pre_link");
@@ -119,6 +142,7 @@ bool ShaddrBlock::TryAddMember(Proc& child, u32 shmask) {
   // holds the kernel's block map lock, so the block cannot be destroyed
   // under us even when we lose the race below; undoing the identity on
   // failure touches only the caller's own fields.
+  child.rm_node.store(node_, std::memory_order_release);
   child.shaddr = this;
   child.p_shmask = shmask;
   SG_INJECT_POINT("shaddr.tryattach.pre_refcnt");
@@ -130,6 +154,7 @@ bool ShaddrBlock::TryAddMember(Proc& child, u32 shmask) {
       // would resurrect a block whose owner is about to destroy it.
       child.shaddr = nullptr;
       child.p_shmask = 0;
+      child.rm_node.store(nullptr, std::memory_order_release);
       return false;
     }
     child.s_plink = plink_;
@@ -155,6 +180,9 @@ Status ShaddrBlock::UnshareVm(Proc& p) {
   for (auto it = shared.begin(); it != shared.end(); ++it) {
     if ((*it)->region->type() == RegionType::kStack && (*it)->stack_owner == p.pid) {
       SG_CHECK(p.as.va().Reserve((*it)->base, (*it)->region->pages()).ok());
+      // The stack leaves the group image for good: return its resident
+      // pages to the group's account.
+      (*it)->region->SetCharge(nullptr);
       p.as.AttachPrivate(std::move(*it));
       shared.erase(it);
       space_.va().Free(p.stack_base);
@@ -236,10 +264,15 @@ bool ShaddrBlock::RemoveMember(Proc& p) {
   // attach order): from here on FlagOthers skips us and a PR_JOINGROUP
   // aimed at us reads null instead of a block whose count may be about to
   // hit zero. The unlink and the drop-to-zero stay atomic under listlock_,
-  // which is what TryAddMember's refcnt_ == 0 test relies on.
+  // which is what TryAddMember's refcnt_ == 0 test relies on. The rm node
+  // reference is cleared here too — on the member's own thread, before the
+  // refcount can reach zero — so no scheduler call of this process can
+  // touch the node once teardown may destroy it.
   p.shaddr = nullptr;
   p.p_shmask = 0;
+  p.rm_node.store(nullptr, std::memory_order_release);
   p.p_flag.fetch_and(~kPfSyncAny, std::memory_order_acq_rel);
+  node_->Uncharge(rm::Resource::kMembers, 1);
   SG_INJECT_POINT("shaddr.detach.pre_unlink");
   bool last;
   {
@@ -386,6 +419,15 @@ void ShaddrBlock::PublishFds(Proc& p) {
   if (changed > 0) {
     if (used_delta != 0) {
       ofile_count_.fetch_add(used_delta, std::memory_order_acq_rel);
+      // kFiles tracks the master table exactly, and only from inside this
+      // single-threaded bracket. Forced: the cap was already enforced as a
+      // headroom check at the syscall seam (kernel_fs.cc), so the publish
+      // itself must never bounce.
+      if (used_delta > 0) {
+        node_->ChargeForced(rm::Resource::kFiles, static_cast<u64>(used_delta));
+      } else {
+        node_->Uncharge(rm::Resource::kFiles, static_cast<u64>(-used_delta));
+      }
     }
     StoreFdsLane(fd_gen_);
     SG_OBS_ADD("core.fds.delta_published_slots", changed);

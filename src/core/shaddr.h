@@ -57,6 +57,7 @@
 #include "obs/stats.h"
 #include "obs/trace.h"
 #include "proc/proc.h"
+#include "rm/rm.h"
 #include "sync/lockdep.h"
 #include "sync/semaphore.h"
 #include "sync/spinlock.h"
@@ -105,7 +106,8 @@ class ShaddrBlock {
   // published (nobody else can hold its locks) and the destructor after
   // the last member detached (sole owner), so neither takes the locks the
   // touched fields are guarded by.
-  ShaddrBlock(Proc& creator, CpuSet& cpus, Vfs& vfs) SG_NO_THREAD_SAFETY_ANALYSIS;
+  ShaddrBlock(Proc& creator, CpuSet& cpus, Vfs& vfs, rm::ResourceManager& rm)
+      SG_NO_THREAD_SAFETY_ANALYSIS;
   ~ShaddrBlock() SG_NO_THREAD_SAFETY_ANALYSIS;
   ShaddrBlock(const ShaddrBlock&) = delete;
   ShaddrBlock& operator=(const ShaddrBlock&) = delete;
@@ -115,6 +117,19 @@ class ShaddrBlock {
 
   // System-wide unique group id (the /proc/share/<id> name).
   u64 id() const { return id_; }
+
+  // ----- fair-share resource manager (src/rm/) -----
+  // The group's rm node: CPU shares + decayed usage + capacity caps. Owned
+  // by the manager; created in the constructor, released in the destructor,
+  // so it outlives every reference a member can publish (members clear
+  // their Proc::rm_node in RemoveMember, strictly before teardown).
+  //
+  // Accounting contract: the ADMISSION seams charge kMembers (sproc /
+  // PR_JOINGROUP, before the member attaches) and RemoveMember uncharges;
+  // kFiles moves only with the master fd table (constructor seed,
+  // PublishFds deltas); kPages moves with page-table validity transitions
+  // via the regions' PageCharge hookup.
+  rm::GroupNode* rm_node() const { return node_; }
 
   // ----- member chain (s_plink/s_refcnt/s_listlock) -----
   // Links `child` with its (already strict-inheritance-masked) share mask.
@@ -263,6 +278,8 @@ class ShaddrBlock {
   Vfs& vfs_;
   SharedSpace space_;
   const u64 id_;  // assigned at creation, never reused
+  rm::ResourceManager& rm_;
+  rm::GroupNode* const node_;  // this group's fair-share account
 
   mutable Spinlock listlock_{"shaddr.listlock"};    // s_listlock
   Proc* plink_ SG_GUARDED_BY(listlock_) = nullptr;  // s_plink

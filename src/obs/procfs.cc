@@ -205,6 +205,22 @@ std::string Procfs::RenderGroup(u64 gid) const {
     }
     out += '\n';
     out += "ofiles " + std::to_string(g.ofiles) + '\n';
+    out += "rm.shares " + std::to_string(g.rm_shares) + '\n';
+    out += "rm.usage_ns " + std::to_string(g.rm_usage_ns) + '\n';
+    static const char* kResNames[3] = {"members", "files", "pages"};
+    for (int i = 0; i < 3; ++i) {
+      out += "rm.cap." + std::string(kResNames[i]) + ' ' + std::to_string(g.rm_cap[i]) + '\n';
+      out += "rm.used." + std::string(kResNames[i]) + ' ' + std::to_string(g.rm_used[i]) + '\n';
+      // Headroom renders "-" when the cap is 0 (unlimited); a cap lowered
+      // below current usage clamps to 0 rather than wrapping.
+      out += "rm.headroom." + std::string(kResNames[i]) + ' ';
+      if (g.rm_cap[i] == 0) {
+        out += '-';
+      } else {
+        out += std::to_string(g.rm_cap[i] > g.rm_used[i] ? g.rm_cap[i] - g.rm_used[i] : 0);
+      }
+      out += '\n';
+    }
     if (!g.lock_name.empty()) {
       out += "lock.name " + g.lock_name + '\n';
     }

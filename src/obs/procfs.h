@@ -57,6 +57,14 @@ struct GroupStatus {
   u64 lock_update_wait_count = 0;   // per-lock writer wait histogram
   u64 lock_update_wait_sum_ns = 0;
   int ofiles = 0;
+  // Fair-share resource manager (src/rm/) view: shares weight, decayed CPU
+  // usage, and per-resource cap/used (index order: members, files, pages;
+  // cap 0 = unlimited). Plain values so Procfs stays below rm/ in the
+  // dependency order.
+  u32 rm_shares = 0;
+  u64 rm_usage_ns = 0;
+  u64 rm_cap[3] = {0, 0, 0};
+  u64 rm_used[3] = {0, 0, 0};
 };
 
 class Procfs {

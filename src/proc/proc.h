@@ -38,6 +38,10 @@ namespace sg {
 
 class ShaddrBlock;  // core/shaddr.h — the share-group layer owns it
 
+namespace rm {
+class GroupNode;  // rm/rm.h — the fair-share account of a share group
+}  // namespace rm
+
 // Atomic pointer to a process's share block. Written only by the owner
 // process's own thread (sproc/prctl/exec/exit) or by its parent before the
 // host thread starts, but read cross-thread by PR_JOINGROUP, kill(2) and
@@ -108,6 +112,11 @@ class Proc final : public ExecutionContext {
   // the p_flag bits, never by touching these.
   u64 p_resgen = 0;         // packed per-resource gen word last synced against
   u64 p_fd_synced_gen = 0;  // master fd-table generation our fd table reflects
+  // Fair-share account of this member's group (src/rm/). Set by attach
+  // before the member is linked, cleared by detach before the node can die;
+  // read on every scheduler call below, so lifetime follows membership
+  // identity exactly (a cleared member schedules at its plain priority).
+  std::atomic<rm::GroupNode*> rm_node{nullptr};
 
   // ----- virtual memory -----
   AddressSpace as;
@@ -153,12 +162,13 @@ class Proc final : public ExecutionContext {
     if (has_cpu_) {
       has_cpu_ = false;
       obs::CurrentTraceContext().cpu = -1;
-      sched_.ReleaseCpu(cpu_);
+      sched_.ReleaseCpu(cpu_, rm_node.load(std::memory_order_acquire));
     }
   }
   void DidWake() override {
     if (!has_cpu_) {
-      cpu_ = sched_.AcquireCpu(priority.load(std::memory_order_relaxed));
+      cpu_ = sched_.AcquireCpu(priority.load(std::memory_order_relaxed),
+                               rm_node.load(std::memory_order_acquire));
       has_cpu_ = true;
       obs::CurrentTraceContext().cpu = static_cast<i32>(cpu_);
     }
@@ -222,7 +232,8 @@ class Proc final : public ExecutionContext {
 
   // CPU-slot management for the thread body (api layer).
   void AcquireCpuInitial() {
-    cpu_ = sched_.AcquireCpu(priority.load(std::memory_order_relaxed));
+    cpu_ = sched_.AcquireCpu(priority.load(std::memory_order_relaxed),
+                             rm_node.load(std::memory_order_acquire));
     has_cpu_ = true;
     obs::CurrentTraceContext().cpu = static_cast<i32>(cpu_);
   }
@@ -230,11 +241,12 @@ class Proc final : public ExecutionContext {
     if (has_cpu_) {
       has_cpu_ = false;
       obs::CurrentTraceContext().cpu = -1;
-      sched_.ReleaseCpu(cpu_);
+      sched_.ReleaseCpu(cpu_, rm_node.load(std::memory_order_acquire));
     }
   }
   void YieldCpu() {
-    cpu_ = sched_.Yield(priority.load(std::memory_order_relaxed), cpu_);
+    cpu_ = sched_.Yield(priority.load(std::memory_order_relaxed), cpu_,
+                        rm_node.load(std::memory_order_acquire));
     obs::CurrentTraceContext().cpu = static_cast<i32>(cpu_);
   }
   bool has_cpu() const { return has_cpu_; }

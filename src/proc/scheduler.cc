@@ -1,13 +1,25 @@
 #include "proc/scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
 #include "base/check.h"
+#include "rm/rm.h"
 
 namespace sg {
 
-Scheduler::Scheduler(u32 ncpus) : ncpus_(ncpus) {
+namespace {
+
+u64 NowNs() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count());
+}
+
+}  // namespace
+
+Scheduler::Scheduler(u32 ncpus) : ncpus_(ncpus), grant_ns_(ncpus) {
   SG_CHECK(ncpus >= 1);
   // Grant low ids first (they come off the back).
   free_.reserve(ncpus);
@@ -23,24 +35,65 @@ u32 Scheduler::TakeFreeCpu() {
   return cpu;
 }
 
-u32 Scheduler::AcquireCpu(int priority) {
-  std::unique_lock<std::mutex> l(m_);
-  if (!free_.empty() && waiters_.empty()) {
-    return TakeFreeCpu();
+void Scheduler::ChargeHeld(u32 cpu, rm::GroupNode* node) {
+  if (node == nullptr) {
+    return;
   }
-  const Ticket me{-priority, next_seq_++};
-  waiters_.insert(me);
-  cv_.wait(l, [&] { return !free_.empty() && *waiters_.begin() == me; });
-  waiters_.erase(me);
-  const u32 cpu = TakeFreeCpu();
-  ++switches_;
-  if (!free_.empty() && !waiters_.empty()) {
-    cv_.notify_all();  // more slots may be grantable
+  const u64 now = NowNs();
+  const u64 t0 = grant_ns_[cpu].load(std::memory_order_relaxed);
+  if (now > t0) {
+    node->ChargeCpuAt(now - t0, now);
   }
+}
+
+u32 Scheduler::AcquireCpu(int priority, rm::GroupNode* node) {
+  // The fair-share bend is computed before the queue lock: it reads the rm
+  // node's decayed account (a spinlock + exp2), which must not run under m_.
+  const int eff = node != nullptr ? node->EffectivePriority(priority) : priority;
+  u32 cpu;
+  {
+    std::unique_lock<std::mutex> l(m_);
+    if (!free_.empty() && waiters_.empty()) {
+      cpu = TakeFreeCpu();
+      grant_ns_[cpu].store(NowNs(), std::memory_order_relaxed);
+      return cpu;
+    }
+    Ticket me{-eff, next_seq_++};
+    waiters_.insert(me);
+    if (node == nullptr) {
+      // Plain priority does not drift while we wait; sleep until granted.
+      cv_.wait(l, [&] { return !free_.empty() && *waiters_.begin() == me; });
+    } else {
+      // A fair-share waiter's ticket goes stale while it sits: its group's
+      // usage decays (priority should RISE) while running groups keep
+      // charging theirs. A frozen ticket behind a stream of freshly-bent
+      // ones starves, so periodically re-bend the ticket against the
+      // current picture. The rm read needs the node spinlock — never taken
+      // under m_ — hence the unlock/relock bracket; the seq is kept so
+      // re-keying never costs the waiter its FIFO rank among equals.
+      while (!cv_.wait_for(l, std::chrono::milliseconds(1),
+                           [&] { return !free_.empty() && *waiters_.begin() == me; })) {
+        waiters_.erase(me);
+        l.unlock();
+        const int bent = node->EffectivePriority(priority);
+        l.lock();
+        me = Ticket{-bent, me.second};
+        waiters_.insert(me);
+      }
+    }
+    waiters_.erase(me);
+    cpu = TakeFreeCpu();
+    ++switches_;
+    if (!free_.empty() && !waiters_.empty()) {
+      cv_.notify_all();  // more slots may be grantable
+    }
+  }
+  grant_ns_[cpu].store(NowNs(), std::memory_order_relaxed);
   return cpu;
 }
 
-void Scheduler::ReleaseCpu(u32 cpu) {
+void Scheduler::ReleaseCpu(u32 cpu, rm::GroupNode* node) {
+  ChargeHeld(cpu, node);
   {
     std::lock_guard<std::mutex> l(m_);
     SG_CHECK(cpu < ncpus_ && free_.size() < ncpus_);
@@ -50,13 +103,19 @@ void Scheduler::ReleaseCpu(u32 cpu) {
   cv_.notify_all();
 }
 
-u32 Scheduler::Yield(int priority, u32 cpu) {
+u32 Scheduler::Yield(int priority, u32 cpu, rm::GroupNode* node) {
+  // Pay for the slice held so far either way, and restart the meter: a
+  // spinner that yields in a loop keeps feeding its group's account even
+  // when it never gives the slot up.
+  ChargeHeld(cpu, node);
+  grant_ns_[cpu].store(NowNs(), std::memory_order_relaxed);
+  const int eff = node != nullptr ? node->EffectivePriority(priority) : priority;
   {
     std::lock_guard<std::mutex> l(m_);
     // Hand the CPU over only to an equal-or-higher-priority waiter: a
     // high-priority runner (e.g. a gang-prioritized share group) is never
     // preempted by background work.
-    if (waiters_.empty() || -waiters_.begin()->first < priority) {
+    if (waiters_.empty() || -waiters_.begin()->first < eff) {
       // No simulated contention worth yielding to — but the host may be
       // narrower than the simulated machine, so give other RUNNING
       // processes' host threads a chance (a true multiprocessor runs them
@@ -65,8 +124,8 @@ u32 Scheduler::Yield(int priority, u32 cpu) {
       return cpu;
     }
   }
-  ReleaseCpu(cpu);
-  return AcquireCpu(priority);
+  ReleaseCpu(cpu, nullptr);  // already charged above
+  return AcquireCpu(priority, node);
 }
 
 u32 Scheduler::FreeCpus() const {

@@ -8,9 +8,19 @@
 // Slots are granted to the highest-priority waiter (ties FIFO). Execution
 // between scheduling points is cooperative, as in a non-preemptive V.3
 // kernel path.
+//
+// Fair share (src/rm/): callers that belong to a share group pass their
+// group's rm node. Held CPU time is charged to the node on every release,
+// and the node turns the caller's base priority into an *effective*
+// priority at every acquire — an over-consuming group sinks below its
+// entitled peers and self-throttles. The scheduler itself stores no node
+// pointers (only per-CPU grant timestamps), so group teardown never races
+// a dangling reference here: the owning Proc clears its node before the
+// node dies, and a null node degrades to the plain priority path.
 #ifndef SRC_PROC_SCHEDULER_H_
 #define SRC_PROC_SCHEDULER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <mutex>
 #include <set>
@@ -20,6 +30,10 @@
 
 namespace sg {
 
+namespace rm {
+class GroupNode;
+}  // namespace rm
+
 class Scheduler {
  public:
   explicit Scheduler(u32 ncpus);
@@ -27,17 +41,20 @@ class Scheduler {
   Scheduler& operator=(const Scheduler&) = delete;
 
   // Blocks until a CPU slot is free and the caller is the best waiter.
-  // Higher `priority` wins; equal priorities are FIFO. Returns the id of
-  // the granted CPU (0..ncpus-1) — holders identify themselves with it
-  // (per-CPU trace rings key on it) and return it to ReleaseCpu.
-  u32 AcquireCpu(int priority);
+  // Higher `priority` wins; equal priorities are FIFO. `node` (may be null)
+  // is the caller's fair-share account: it bends the base priority by the
+  // group's entitled-minus-consumed balance. Returns the id of the granted
+  // CPU (0..ncpus-1) — holders identify themselves with it (per-CPU trace
+  // rings key on it) and return it to ReleaseCpu.
+  u32 AcquireCpu(int priority, rm::GroupNode* node = nullptr);
 
-  void ReleaseCpu(u32 cpu);
+  // Returns the slot; the time it was held is charged to `node`.
+  void ReleaseCpu(u32 cpu, rm::GroupNode* node = nullptr);
 
   // Gives other runnable processes a chance to run: if anyone is waiting
   // for a slot, release and reacquire (round-robin among equals). Returns
   // the CPU the caller runs on afterwards (possibly the same one).
-  u32 Yield(int priority, u32 cpu);
+  u32 Yield(int priority, u32 cpu, rm::GroupNode* node = nullptr);
 
   u32 ncpus() const { return ncpus_; }
   u32 FreeCpus() const;
@@ -45,6 +62,7 @@ class Scheduler {
 
  private:
   u32 TakeFreeCpu();  // caller holds m_
+  void ChargeHeld(u32 cpu, rm::GroupNode* node);  // charge since last grant
 
   using Ticket = std::pair<i64, u64>;  // (-priority, seq): smallest = best
 
@@ -55,6 +73,11 @@ class Scheduler {
   u64 next_seq_ = 0;
   std::set<Ticket> waiters_;
   u64 switches_ = 0;
+
+  // When each CPU slot was last granted (ns). Written by the grantee right
+  // after it wins the slot, read by the same holder at release — atomics
+  // only so FreeCpus-style observers stay race-free.
+  std::vector<std::atomic<u64>> grant_ns_;
 };
 
 }  // namespace sg

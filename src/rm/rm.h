@@ -1,0 +1,187 @@
+// rm — hierarchical fair-share resource manager over share groups.
+//
+// The paper's share groups (§4–§6) supply the sharing primitive but nothing
+// arbitrates *between* groups: every member competes in one flat scheduler
+// queue and PR_SETGROUPPRI is just a gang-wide nice value. This layer adds
+// the arbitration in the style of Gunther's UNIX resource managers and the
+// Solaris SRM `lnode` tree:
+//
+//   * Every share group owns a GroupNode in a tree rooted at the manager's
+//     root node. A node carries a CPU `shares` weight and an exponentially
+//     decayed CPU-usage account (half-life kDecayHalfLifeNs). The scheduler
+//     charges consumed CPU time to the running process's node (which
+//     propagates up the ancestry) and asks the node for an *effective*
+//     priority: base priority plus, per tree level, a term proportional to
+//     (entitled fraction − consumed fraction). A group burning more than
+//     its shares entitle it decays toward lower priority and self-throttles;
+//     an idle group's usage decays away and its priority recovers. The walk
+//     is O(depth), independent of the number of sibling groups.
+//
+//   * A node also carries hard capacity caps — member count, open files in
+//     the shared fd table, resident pages of the shared VM image — enforced
+//     by TryCharge/Uncharge pairs at the existing admission chokepoints
+//     (sproc/attach, fd publish, page-fault frame allocation). A cap of 0
+//     means unlimited. Charging is lock-free (CAS); only the decayed-usage
+//     account takes the node's spinlock.
+//
+// A process outside any share group passes a null node everywhere and is
+// scheduled exactly as before; a lone group at default shares gets a zero
+// adjustment (entitlement 1, consumption 1), so single-tenant workloads are
+// unaffected by the manager's existence.
+#ifndef SRC_RM_RM_H_
+#define SRC_RM_RM_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+#include "base/types.h"
+#include "sync/spinlock.h"
+#include "vm/page_charge.h"
+
+namespace sg {
+namespace rm {
+
+// Capped resources. kMembers/kFiles breaches surface as EAGAIN at the
+// admission syscall; kPages breaches surface as ENOMEM on the fault path
+// (where the pager may steal from the same image to make headroom).
+enum class Resource : u32 {
+  kMembers = 0,  // processes attached to the share group
+  kFiles = 1,    // open slots in the group's shared fd table
+  kPages = 2,    // resident pages of the group's shared VM image
+};
+inline constexpr u32 kNumResources = 3;
+
+const char* ResourceName(Resource r);
+
+inline constexpr u32 kDefaultShares = 100;
+
+// Decay half-life of the CPU-usage account: usage halves every 50
+// simulated-CPU milliseconds it is left alone.
+inline constexpr u64 kDecayHalfLifeNs = 50'000'000;
+
+// Priority points awarded per tree level per unit of (entitled − consumed)
+// fraction. With the scheduler's strict priority queue, ±kPriorityGain/4 is
+// already enough to reorder a saturated tenant behind a starved one.
+inline constexpr int kPriorityGain = 64;
+
+class ResourceManager;
+
+// One node of the share tree. Created/destroyed only through the
+// ResourceManager; all other operations are safe from any thread.
+class GroupNode final : public PageCharge {
+ public:
+  GroupNode* parent() const { return parent_; }
+  u32 shares() const { return shares_.load(std::memory_order_relaxed); }
+
+  // ----- capacity caps -----
+
+  // Sets the cap for `r` (0 = unlimited). Takes effect for future charges
+  // only; existing usage above a newly lowered cap is not evicted.
+  void SetCap(Resource r, u64 cap) {
+    cap_[Idx(r)].store(cap, std::memory_order_relaxed);
+  }
+  u64 cap(Resource r) const { return cap_[Idx(r)].load(std::memory_order_relaxed); }
+  u64 used(Resource r) const { return used_[Idx(r)].load(std::memory_order_relaxed); }
+
+  // Charges `n` units of `r` if the cap allows it; false on breach.
+  bool TryCharge(Resource r, u64 n);
+  // Charges unconditionally (adopting pre-existing usage, e.g. the fds a
+  // process already holds when it founds a group).
+  void ChargeForced(Resource r, u64 n) {
+    used_[Idx(r)].fetch_add(n, std::memory_order_relaxed);
+  }
+  // Returns `n` units. Underflow is an accounting bug: it panics rather
+  // than leaving a poisoned (giant) usage figure behind.
+  void Uncharge(Resource r, u64 n);
+
+  // PageCharge — the vm layer's hooks map straight onto kPages.
+  bool TryChargePages(u64 n) override { return TryCharge(Resource::kPages, n); }
+  void ChargePagesForced(u64 n) override { ChargeForced(Resource::kPages, n); }
+  void UnchargePages(u64 n) override { Uncharge(Resource::kPages, n); }
+
+  // ----- decayed CPU usage / effective priority -----
+
+  // Charges `ns` of consumed CPU to this node and every ancestor.
+  void ChargeCpu(u64 ns);
+  void ChargeCpuAt(u64 ns, u64 now_ns);  // test/bench hook: injected clock
+
+  // Lifetime total charged to THIS node (no decay, no ancestor rollup):
+  // the delivered-CPU measure the fairness experiments score against.
+  u64 charged_total_ns() const {
+    return charged_total_ns_.load(std::memory_order_relaxed);
+  }
+
+  // This node's decayed usage account, in ns.
+  double DecayedUsage() const;
+  double DecayedUsageAt(u64 now_ns) const;
+
+  // Base priority adjusted by the fair-share terms of every tree level.
+  int EffectivePriority(int base) const;
+  int EffectivePriorityAt(int base, u64 now_ns) const;
+
+ private:
+  friend class ResourceManager;
+  explicit GroupNode(GroupNode* parent) : parent_(parent) {}
+
+  static constexpr u32 Idx(Resource r) { return static_cast<u32>(r); }
+
+  // Decays usage_ns_ to `now_ns` (caller holds lock_; only the mutable
+  // account moves, so callable from the const readers).
+  void DecayLocked(u64 now_ns) const SG_REQUIRES(lock_);
+
+  GroupNode* const parent_;
+  std::atomic<u32> shares_{kDefaultShares};
+  // Sum of the *children's* shares — the denominator of each child's
+  // entitled fraction. Signed so a racing set-shares never wraps.
+  std::atomic<i64> child_shares_{0};
+
+  std::atomic<u64> cap_[kNumResources] = {};   // 0 = unlimited
+  std::atomic<u64> used_[kNumResources] = {};
+  std::atomic<u64> charged_total_ns_{0};
+
+  // The decayed-usage account. Charged on every CPU release, read on every
+  // acquire — a spinlock-guarded pair keeps decay-then-add atomic.
+  mutable Spinlock lock_{"rm.node"};
+  mutable double usage_ns_ SG_GUARDED_BY(lock_) = 0.0;
+  mutable u64 last_decay_ns_ SG_GUARDED_BY(lock_) = 0;
+};
+
+// Owns the node tree. One instance per Kernel; share-group creation and
+// teardown call CreateNode/ReleaseNode, everything else talks to the nodes
+// directly.
+class ResourceManager {
+ public:
+  ResourceManager();
+  ~ResourceManager();
+  ResourceManager(const ResourceManager&) = delete;
+  ResourceManager& operator=(const ResourceManager&) = delete;
+
+  GroupNode& root() { return *root_; }
+
+  // Creates a node under `parent` (the root when null) with `shares`.
+  GroupNode* CreateNode(GroupNode* parent = nullptr, u32 shares = kDefaultShares);
+
+  // Destroys `node`, returning its shares to the parent's denominator. The
+  // caller guarantees nothing references the node anymore (the scheduler
+  // never stores node pointers, so clearing the owning Proc/ShaddrBlock
+  // reference first is sufficient).
+  void ReleaseNode(GroupNode* node);
+
+  // Re-weights `node` and fixes up the parent's denominator. Returns the
+  // shares now in effect (shares of 0 are clamped to 1: a zero denominator
+  // would make every sibling's entitlement undefined).
+  u32 SetShares(GroupNode* node, u32 shares);
+
+ private:
+  std::unique_ptr<GroupNode> root_;
+  Mutex mu_;
+  std::map<GroupNode*, std::unique_ptr<GroupNode>> nodes_ SG_GUARDED_BY(mu_);
+};
+
+}  // namespace rm
+}  // namespace sg
+
+#endif  // SRC_RM_RM_H_

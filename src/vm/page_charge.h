@@ -1,0 +1,36 @@
+// PageCharge — the vm layer's view of a resident-page accountant. A Region
+// attached to a share group's image charges every invalid→valid page-table
+// transition against one of these and uncharges every valid→invalid one, so
+// the owner (the resource manager's group node, src/rm/) always knows the
+// group's exact resident-page count without scanning page tables.
+//
+// The interface lives in vm/ so the vm layer never depends on rm/: rm's
+// GroupNode implements it, and core/shaddr wires the pointer into each
+// region of the group image (Region::SetCharge).
+#ifndef SRC_VM_PAGE_CHARGE_H_
+#define SRC_VM_PAGE_CHARGE_H_
+
+#include "base/types.h"
+
+namespace sg {
+
+class PageCharge {
+ public:
+  virtual ~PageCharge() = default;
+
+  // Tries to account `n` more resident pages; false means the cap is hit
+  // and the caller must not allocate (the fault path surfaces kENOMEM and
+  // lets the pager steal from this same image to make headroom).
+  virtual bool TryChargePages(u64 n) = 0;
+
+  // Accounts `n` pages unconditionally — for paths that cannot back out
+  // (adopting an already-resident image, DupCow's swap-revival corner).
+  virtual void ChargePagesForced(u64 n) = 0;
+
+  // Returns `n` resident pages to the accountant.
+  virtual void UnchargePages(u64 n) = 0;
+};
+
+}  // namespace sg
+
+#endif  // SRC_VM_PAGE_CHARGE_H_

@@ -53,13 +53,40 @@ bool Region::SharedAcrossFork() const {
 }
 
 Region::~Region() {
+  u64 resident = 0;
   for (Pte& pte : ptes_) {
     if (pte.valid) {
       mem_.Unref(pte.pfn);
+      ++resident;
     } else if (pte.swap_slot != 0) {
       mem_.swap_device()->Free(pte.swap_slot);
     }
   }
+  // Normally the share-group teardown has already called SetCharge(nullptr);
+  // this covers regions destroyed straight off a shared list (Unmap).
+  if (charge_ != nullptr && resident != 0) {
+    charge_->UnchargePages(resident);
+  }
+}
+
+void Region::SetCharge(PageCharge* charge) {
+  std::lock_guard<std::mutex> l(lock_);
+  if (charge == charge_) {
+    return;
+  }
+  u64 resident = 0;
+  for (const Pte& pte : ptes_) {
+    resident += pte.valid ? 1 : 0;
+  }
+  if (resident != 0) {
+    if (charge_ != nullptr) {
+      charge_->UnchargePages(resident);
+    }
+    if (charge != nullptr) {
+      charge->ChargePagesForced(resident);
+    }
+  }
+  charge_ = charge;
 }
 
 Result<PageResolution> Region::Resolve(u64 idx, bool want_write) {
@@ -76,8 +103,18 @@ Result<PageResolution> Region::Resolve(u64 idx, bool want_write) {
     pte.dirty = true;
   }
   if (!pte.valid) {
+    // Cap check before the allocation: a group at its resident-page cap is
+    // refused even when free frames exist, and the kENOMEM sends the fault
+    // path to the pager, which steals from this same image (uncharging as
+    // it goes) until there is headroom — or the access faults for real.
+    if (charge_ != nullptr && !charge_->TryChargePages(1)) {
+      return Errno::kENOMEM;
+    }
     auto frame = mem_.AllocFrame();
     if (!frame.ok()) {
+      if (charge_ != nullptr) {
+        charge_->UnchargePages(1);
+      }
       return frame.error();
     }
     if (pte.swap_slot != 0) {
@@ -160,14 +197,19 @@ Status Region::ShrinkTo(u64 new_pages) {
   if (new_pages > ptes_.size()) {
     return Errno::kEINVAL;
   }
+  u64 freed = 0;
   for (u64 i = new_pages; i < ptes_.size(); ++i) {
     if (ptes_[i].valid) {
       mem_.Unref(ptes_[i].pfn);
+      ++freed;
     } else if (ptes_[i].swap_slot != 0) {
       mem_.swap_device()->Free(ptes_[i].swap_slot);
     }
   }
   ptes_.resize(new_pages);
+  if (charge_ != nullptr && freed != 0) {
+    charge_->UnchargePages(freed);
+  }
   return Status::Ok();
 }
 
@@ -203,6 +245,11 @@ std::shared_ptr<Region> Region::DupCow() {
         src.pfn = frame.value();
         src.swap_slot = 0;
         src.valid = true;
+        if (charge_ != nullptr) {
+          // The source page came back resident mid-duplication; there is no
+          // way to back out here, so the charge is forced past any cap.
+          charge_->ChargePagesForced(1);
+        }
         mem_.Ref(src.pfn);
         src.cow = true;
         twin->ptes_[i].pfn = src.pfn;
@@ -232,6 +279,10 @@ Status Region::FillFrom(u64 off, std::span<const std::byte> data) {
       }
       pte.pfn = frame.value();
       pte.valid = true;
+      if (charge_ != nullptr) {
+        // Kernel-side image initialization never bounces on a cap.
+        charge_->ChargePagesForced(1);
+      }
     }
     SG_CHECK(!pte.cow);  // initialization happens before any sharing
     std::memcpy(mem_.FrameData(pte.pfn) + page_off, data.data() + done, chunk);

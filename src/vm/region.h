@@ -24,6 +24,7 @@
 #include "base/types.h"
 #include "hw/phys_mem.h"
 #include "hw/swap.h"
+#include "vm/page_charge.h"
 
 namespace sg {
 
@@ -127,6 +128,15 @@ class Region {
   // source and clears the dirty bits (msync / munmap).
   Status WriteBack();
 
+  // Points this region's resident pages at `charge` (null to detach): the
+  // current resident count is unaccounted from the old charge and accounted
+  // (forced — an adopted image never bounces) to the new one, and every
+  // later validity transition is tracked. Called when the region joins or
+  // leaves a share group's image. Invariant: charge_ is non-null only while
+  // the region sits on some group's shared pregion list, so the accountant
+  // always outlives the pointer.
+  void SetCharge(PageCharge* charge);
+
   // Pager support (hw/swap.h must be attached to the PhysMem):
   // One clock-hand sweep over the page table, stealing up to `want`
   // resident, unreferenced, sole-owner pages to swap. The first encounter
@@ -150,6 +160,9 @@ class Region {
   mutable std::mutex lock_;
   std::vector<Pte> ptes_;
   u64 clock_hand_ = 0;  // pager sweep position
+
+  // Resident-page accountant (guarded by lock_); see SetCharge.
+  PageCharge* charge_ = nullptr;
 
   // File backing (kFile regions only).
   std::shared_ptr<PageSource> source_;
@@ -176,6 +189,11 @@ bool Region::StealOne(u64 idx, FlushFn&& flushed) {
   pte.pfn = 0;
   pte.valid = false;
   pte.swap_slot = slot.value();
+  if (charge_ != nullptr) {
+    // The steal shrank the group's resident set — this is how the pager
+    // makes headroom under a page cap.
+    charge_->UnchargePages(1);
+  }
   return true;
 }
 

@@ -17,6 +17,7 @@
 #include "hw/tlb.h"
 #include "sync/shared_read_lock.h"
 #include "vm/layout.h"
+#include "vm/page_charge.h"
 #include "vm/pregion.h"
 #include "vm/va_allocator.h"
 
@@ -90,8 +91,17 @@ class SharedSpace {
 
   CpuSet& cpus() { return cpus_; }
 
+  // Resident-page accountant for this group's image (the share group's rm
+  // node; null when the group has no manager). Set once by the owning
+  // ShaddrBlock before any member runs; every region that joins the shared
+  // list is pointed at it (AttachRegion, stack attach) and cut loose when
+  // it leaves (Unmap, UnshareVm, block teardown).
+  void set_page_charge(PageCharge* c) { page_charge_ = c; }
+  PageCharge* page_charge() const { return page_charge_; }
+
  private:
   CpuSet& cpus_;
+  PageCharge* page_charge_ = nullptr;
   SharedReadLock lock_;
   std::vector<std::unique_ptr<Pregion>> pregions_ SG_GUARDED_BY(lock_);
   std::vector<Tlb*> member_tlbs_ SG_GUARDED_BY(lock_);

@@ -96,6 +96,10 @@ Result<vaddr_t> AttachRegion(AddressSpace& as, std::shared_ptr<Region> region, u
     if (!base.ok()) {
       return base.error();
     }
+    // The region joins the group image: its resident pages (usually zero for
+    // fresh mappings, but a re-attached SysV segment may be populated) count
+    // against the group's page cap from here on.
+    region->SetCharge(ss->page_charge());
     ss->pregions().push_back(std::make_unique<Pregion>(std::move(region), base.value(), prot));
     return base.value();
   }
@@ -123,6 +127,10 @@ Status Unmap(AddressSpace& as, vaddr_t base) {
         // Flush before free: no processor may retain a stale translation
         // when the region's frames return to the allocator.
         ss->ShootdownAll();
+        // Leaving the group image: return the resident pages to the group
+        // before the region (which may outlive the group via other owners —
+        // SysV segments) loses its last tie to this accountant.
+        (*it)->region->SetCharge(nullptr);
         list.erase(it);
         ss->va().Free(base);
         return Status::Ok();

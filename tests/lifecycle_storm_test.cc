@@ -20,8 +20,10 @@
 
 #include "api/kernel.h"
 #include "api/user_env.h"
+#include "core/share_mask.h"
 #include "inject/inject.h"
 #include "obs/stats.h"
+#include "rm/rm.h"
 #include "sync/lockdep.h"
 
 #if defined(__SANITIZE_THREAD__)
@@ -136,6 +138,7 @@ void RunStorm(u64 seed, const inject::PlanConfig& cfg) {
   Kernel k(bp);
   const u64 free_at_boot = k.mem().FreeFrames();
   const u64 files_at_boot = k.vfs().files().Count();
+  const i64 rm_live_at_boot = obs::Stats::Global().gauge("rm.groups.live").value();
 
   inject::InjectionPlan plan(seed, cfg);
   {
@@ -150,6 +153,18 @@ void RunStorm(u64 seed, const inject::PlanConfig& cfg) {
       if (env.Sproc([seed](Env& c, long) { FdChurn(c, WorkerSeed(seed, 1), 12); },
                     PR_SALL) >= 0) {
         ++members;
+      }
+
+      // Randomized rm caps over the freshly formed group (tight enough that
+      // some schedules breach them): admissions beyond a cap bounce with
+      // EAGAIN mid-storm and every worker path tolerates the denial. Page
+      // caps stay off — this storm has no swap to steal into.
+      if (env.proc().shaddr != nullptr) {
+        Rng crng{WorkerSeed(seed, 9)};
+        (void)env.Prctl(PR_SETRCAP, PrRcapArg(PR_RCAP_MEMBERS, 2 + crng.Pick(4)));
+        const u64 fd_used = env.proc().shaddr->rm_node()->used(rm::Resource::kFiles);
+        (void)env.Prctl(PR_SETRCAP, PrRcapArg(PR_RCAP_FILES, fd_used + 2 + crng.Pick(8)));
+        (void)env.Prctl(PR_SETSHARES, 1 + crng.Pick(400));
       }
 
       // Worker 2 — PR_SALL member that detaches via exec(2) mid-churn.
@@ -225,6 +240,9 @@ void RunStorm(u64 seed, const inject::PlanConfig& cfg) {
   EXPECT_EQ(k.LiveBlocks(), 0u);
   EXPECT_EQ(k.vfs().files().Count(), files_at_boot);
   EXPECT_EQ(k.mem().FreeFrames(), free_at_boot);
+  // Every rm node created during the storm was released with its block
+  // (usage underflow would already have panicked inside the run).
+  EXPECT_EQ(obs::Stats::Global().gauge("rm.groups.live").value(), rm_live_at_boot);
   // Under the lockdep preset, every schedule the storm forces through the
   // lifecycle windows must keep the lock-order graph acyclic and never
   // declare sleep intent under a spinlock.

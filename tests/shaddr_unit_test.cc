@@ -9,6 +9,7 @@
 #include "hw/cpu_set.h"
 #include "proc/proc.h"
 #include "proc/scheduler.h"
+#include "rm/rm.h"
 
 namespace sg {
 namespace {
@@ -18,6 +19,7 @@ struct Rig {
   CpuSet cpus{2};
   Scheduler sched{2};
   Vfs vfs{64, 64};
+  rm::ResourceManager rm;
 
   std::unique_ptr<Proc> MakeProc(pid_t pid) {
     auto p = std::make_unique<Proc>(pid, mem, sched, 64);
@@ -29,6 +31,12 @@ struct Rig {
     vfs.inodes().Iput(p.cwd);
     vfs.inodes().Iput(p.rootdir);
     p.as.DetachAllPrivate();
+  }
+  // Raw attach mirroring the kernel's admission contract: the caller charges
+  // the member cap before AddMember (RemoveMember owns the uncharge).
+  void Attach(ShaddrBlock& blk, Proc& p, u32 mask) {
+    blk.rm_node()->ChargeForced(rm::Resource::kMembers, 1);
+    blk.AddMember(p, mask);
   }
   void ReleaseFds(Proc& p) {
     for (FdEntry& e : p.fds.slots()) {
@@ -47,7 +55,7 @@ TEST(ShaddrUnit, CreatorSeedsMasterCopies) {
   a->ulimit = 4242;
   a->uid = 7;
   a->gid = 8;
-  ShaddrBlock block(*a, rig.cpus, rig.vfs);
+  ShaddrBlock block(*a, rig.cpus, rig.vfs, rig.rm);
   EXPECT_EQ(block.refcnt(), 1u);
   EXPECT_EQ(a->p_shmask, PR_SALL);  // "a mask indicating that all resources are shared"
   EXPECT_EQ(block.cmask(), 031);
@@ -66,9 +74,9 @@ TEST(ShaddrUnit, MemberChainLinksAndUnlinksInAnyOrder) {
   auto a = rig.MakeProc(1);
   auto b = rig.MakeProc(2);
   auto c = rig.MakeProc(3);
-  ShaddrBlock block(*a, rig.cpus, rig.vfs);
-  block.AddMember(*b, PR_SFDS);
-  block.AddMember(*c, PR_SUMASK);
+  ShaddrBlock block(*a, rig.cpus, rig.vfs, rig.rm);
+  rig.Attach(block, *b, PR_SFDS);
+  rig.Attach(block, *c, PR_SUMASK);
   EXPECT_EQ(block.refcnt(), 3u);
   int seen = 0;
   block.ForEachMember([&](Proc&) { ++seen; });
@@ -87,7 +95,7 @@ TEST(ShaddrUnit, TryAddMemberRefusesDrainedBlock) {
   Rig rig;
   auto a = rig.MakeProc(1);
   auto b = rig.MakeProc(2);
-  ShaddrBlock block(*a, rig.cpus, rig.vfs);
+  ShaddrBlock block(*a, rig.cpus, rig.vfs, rig.rm);
   EXPECT_TRUE(block.RemoveMember(*a));  // refcnt 0: the block is draining
   // A dynamic joiner racing the last exit must be turned away.
   EXPECT_FALSE(block.TryAddMember(*b, PR_SALL & ~PR_SADDR));
@@ -101,9 +109,9 @@ TEST(ShaddrUnit, EntrySyncRespectsPerResourceMasks) {
   auto a = rig.MakeProc(1);
   auto b = rig.MakeProc(2);  // shares umask only
   auto c = rig.MakeProc(3);  // shares ulimit only
-  ShaddrBlock block(*a, rig.cpus, rig.vfs);
-  block.AddMember(*b, PR_SUMASK);
-  block.AddMember(*c, PR_SULIMIT);
+  ShaddrBlock block(*a, rig.cpus, rig.vfs, rig.rm);
+  rig.Attach(block, *b, PR_SUMASK);
+  rig.Attach(block, *c, PR_SULIMIT);
   a->umask = 011;
   block.UpdateUmask(*a, 011);
   // O(1) updates: nobody's p_flag is touched; staleness is carried by the
@@ -133,8 +141,8 @@ TEST(ShaddrUnit, ScalarLaneWrapFallsBackToFlagging) {
   Rig rig;
   auto a = rig.MakeProc(1);
   auto b = rig.MakeProc(2);
-  ShaddrBlock block(*a, rig.cpus, rig.vfs);
-  block.AddMember(*b, PR_SUMASK);
+  ShaddrBlock block(*a, rig.cpus, rig.vfs, rig.rm);
+  rig.Attach(block, *b, PR_SUMASK);
   block.SyncOnKernelEntry(*b);  // start b fully caught up
   // Drive the 12-bit umask lane all the way around. A member whose cached
   // lane would alias (exactly 2^bits updates behind) must still be caught:
@@ -169,8 +177,8 @@ TEST(ShaddrUnit, FdLaneWrapFallsBackToFlagging) {
   OpenFile* f = rig.vfs.files().Alloc(rig.vfs.inodes().Iget(rig.vfs.root()), kOpenRead).value();
   ASSERT_TRUE(a->fds.SetSlot(0, f, false).ok());
   {
-    ShaddrBlock block(*a, rig.cpus, rig.vfs);
-    block.AddMember(*b, PR_SFDS);
+    ShaddrBlock block(*a, rig.cpus, rig.vfs, rig.rm);
+    rig.Attach(block, *b, PR_SFDS);
     // Raw attach (no sproc seeding): force a full reconcile, the same way
     // PR_JOINGROUP initializes a dynamic joiner.
     b->p_flag.fetch_or(kPfSyncFds, std::memory_order_acq_rel);
