@@ -7,8 +7,12 @@
 //   * sbrk GROW per call vs group size (update lock, no shootdown);
 //   * sbrk SHRINK per call vs group size (update lock + synchronous
 //     all-processor TLB flush + frame frees — the expensive one);
-//   * mmap/munmap pair vs group size (attach cheap, detach shoots down).
+//   * mmap/munmap pair vs group size (attach cheap, detach shoots down);
+//   * (PR 7) fault throughput vs a concurrent VM-image WRITER mix — the
+//     lockless fault path's reason to exist (DESIGN.md §4h).
 #include "bench/bench_util.h"
+
+#include "obs/stats.h"
 
 namespace sg {
 namespace {
@@ -141,6 +145,94 @@ void BM_MapUnmap(benchmark::State& state) {
 }
 
 BENCHMARK(BM_MapUnmap)->Arg(0)->Arg(3)->Arg(7)->Unit(benchmark::kMicrosecond);
+
+// E3b (PR 7) — fault throughput under a VM-image writer mix.
+//
+// Members sweep a shared window wider than the 64-entry direct-mapped TLB,
+// so every access conflict-misses and re-enters HandleFault: the measured
+// rate is shared-image lookup/resolve throughput, not memory bandwidth.
+// Meanwhile the group leader runs `writer_ops` mmap/munmap pairs — each
+// one an update-lock acquisition, a layout-seqcount bump and a shootdown.
+// Before PR 7 every fault took the group lock's read side and the writer
+// convoyed the whole group behind each mutation; now faults validate
+// against the seqcount, and only those that straddle a bump retry or fall
+// back (the lockless_frac counter reports the split).
+//
+// Args: {members, writer_ops}.
+constexpr u64 kWindowPages = 128;  // 2x the TLB: every swept access misses
+constexpr int kSweeps = 24;
+
+void BM_FaultWriterMix(benchmark::State& state) {
+  const int members = static_cast<int>(state.range(0));
+  const int writer_ops = static_cast<int>(state.range(1));
+  BootParams bp;
+  bp.phys_mem_bytes = u64{512} << 20;
+  bp.max_procs = 64;
+  Kernel k(bp);
+  obs::Stats& stats = obs::Stats::Global();
+  u64 faults = 0;
+  u64 lockless = 0;
+  u64 fallbacks = 0;
+  u64 retries = 0;
+  for (auto _ : state) {
+    RunSim(k, [&](Env& env) {
+      const vaddr_t ctl = env.Mmap(kPageSize);
+      const vaddr_t win = env.Mmap(kWindowPages * kPageSize);
+      for (u64 i = 0; i < kWindowPages; ++i) {
+        env.Store32(win + i * kPageSize, 1);  // materialize every frame up front
+      }
+      const u64 f0 = stats.CounterValue("vm.faults");
+      const u64 l0 = stats.CounterValue("vm.fault.lockless_hits");
+      const u64 b0 = stats.CounterValue("vm.fault.fallbacks");
+      const u64 r0 = stats.CounterValue("vm.fault.retries");
+      int started = 0;
+      for (int m = 0; m < members; ++m) {
+        const pid_t pid = env.Sproc(
+            [ctl, win, members](Env& c, long) {
+              c.SpinBarrier(ctl, static_cast<u32>(members) + 1);
+              for (int s = 0; s < kSweeps; ++s) {
+                for (u64 i = 0; i < kWindowPages; ++i) {
+                  (void)c.Load32(win + i * kPageSize);
+                }
+              }
+            },
+            PR_SADDR);
+        if (pid > 0) {
+          ++started;
+        }
+      }
+      env.SpinBarrier(ctl, static_cast<u32>(members) + 1);
+      for (int w = 0; w < writer_ops; ++w) {
+        const vaddr_t a = env.Mmap(kPageSize);
+        env.Store32(a, 1);
+        env.Munmap(a);
+      }
+      for (int i = 0; i < started; ++i) {
+        env.WaitChild();
+      }
+      faults += stats.CounterValue("vm.faults") - f0;
+      lockless += stats.CounterValue("vm.fault.lockless_hits") - l0;
+      fallbacks += stats.CounterValue("vm.fault.fallbacks") - b0;
+      retries += stats.CounterValue("vm.fault.retries") - r0;
+    });
+  }
+  state.SetItemsProcessed(static_cast<i64>(faults));
+  state.counters["members"] = members;
+  state.counters["writer_ops"] = writer_ops;
+  state.counters["lockless_frac"] =
+      faults == 0 ? 0.0 : static_cast<double>(lockless) / static_cast<double>(faults);
+  state.counters["fallbacks"] = static_cast<double>(fallbacks);
+  state.counters["retries"] = static_cast<double>(retries);
+}
+
+BENCHMARK(BM_FaultWriterMix)
+    ->Args({4, 0})
+    ->Args({4, 64})
+    ->Args({4, 256})
+    ->Args({16, 0})
+    ->Args({16, 64})
+    ->Args({16, 256})
+    ->Unit(benchmark::kMillisecond);
 
 // The pager under pressure: sequential sweeps over a working set larger
 // than physical memory, with the pageout clock and major faults inside the

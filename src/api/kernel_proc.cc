@@ -40,10 +40,10 @@ Status Kernel::AllocStack(Proc& p, bool shared_stack) {
     auto pr = std::make_unique<Pregion>(Region::Alloc(mem_, RegionType::kStack, pages),
                                         base.value(), kProtRw);
     pr->stack_owner = p.pid;
-    // The stack joins the shared image, so its resident pages count against
-    // the group's page cap from the first fault on.
-    pr->region->SetCharge(ss.page_charge());
-    ss.pregions().push_back(std::move(pr));
+    // AttachPregion charges the stack's resident pages to the group's page
+    // cap from the first fault on, and publishes the layout change to the
+    // lockless fault path.
+    ss.AttachPregion(std::move(pr));
     p.stack_base = base.value();
     return Status::Ok();
   }

@@ -86,6 +86,13 @@ Status Kernel::Msync(Proc& p, vaddr_t base) {
   SyscallEnter(p);
   SG_OBS_SYSCALL("msync");
   Status st = Errno::kEINVAL;
+  // Pin the region under the lock, write it back OUTSIDE: WriteBack is
+  // blocking I/O, and holding even the read side across it would stall
+  // every VM updater (sbrk, mmap, sproc stack attach) behind one msync.
+  // The shared_ptr keeps the region alive if the mapping is unmapped
+  // concurrently; the worst case is a redundant writeback of data munmap
+  // already flushed, never a lost or dangling one.
+  std::shared_ptr<Region> target;
   {
     SharedSpace* ss = p.as.shared();
     std::optional<ReadGuard> guard;
@@ -94,8 +101,11 @@ Status Kernel::Msync(Proc& p, vaddr_t base) {
     }
     Pregion* pr = p.as.FindPregionFast(base, /*out_shared=*/nullptr);
     if (pr != nullptr && pr->base == base && pr->region->NeedsWriteBack()) {
-      st = pr->region->WriteBack();
+      target = pr->region;
     }
+  }
+  if (target != nullptr) {
+    st = target->WriteBack();
   }
   SyscallExit(p);
   return st;

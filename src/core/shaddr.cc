@@ -6,6 +6,7 @@
 #include "base/check.h"
 #include "core/share_mask.h"
 #include "inject/inject.h"
+#include "sync/seqcount.h"
 #include "sync/shared_read_lock.h"
 
 namespace sg {
@@ -37,23 +38,27 @@ ShaddrBlock::ShaddrBlock(Proc& creator, CpuSet& cpus, Vfs& vfs, rm::ResourceMana
   // else can see the block yet, so no locking.
   auto& priv = creator.as.private_pregions();
   creator.as.InvalidatePrivateHint();  // the list is about to lose entries
-  for (auto it = priv.begin(); it != priv.end();) {
-    if (Sharable(**it)) {
-      if ((*it)->base >= kArenaBase) {
-        SG_CHECK(space_.va().Reserve((*it)->base, (*it)->region->pages()).ok());
+  {
+    UpdateGuard g(space_.lock());
+    for (auto it = priv.begin(); it != priv.end();) {
+      if (Sharable(**it)) {
+        if ((*it)->base >= kArenaBase) {
+          SG_CHECK(space_.va().Reserve((*it)->base, (*it)->region->pages()).ok());
+        }
+        // AttachPregion points the region at node_ (the page_charge_ set
+        // above) and publishes the growing layout.
+        space_.AttachPregion(std::move(*it));
+        it = priv.erase(it);
+      } else {
+        ++it;
       }
-      (*it)->region->SetCharge(node_);
-      space_.pregions().push_back(std::move(*it));
-      it = priv.erase(it);
-    } else {
-      ++it;
     }
+    space_.AddMemberTlb(&creator.as.tlb());
   }
   creator.as.set_shared(&space_);
   // Per-group lock stats: /proc/stat grows sharedlock.group<id>.* lines and
   // /proc/share/<id> reports this lock, not just the process-wide aggregate.
   space_.lock().SetName("group" + std::to_string(id_));
-  space_.AddMemberTlb(&creator.as.tlb());
 
   // Seed the master resource copies, bumping the block's own references.
   // Slots start at gen 0 (< fd_gen_): nothing is newer than what the
@@ -95,12 +100,11 @@ ShaddrBlock::ShaddrBlock(Proc& creator, CpuSet& cpus, Vfs& vfs, rm::ResourceMana
 
 ShaddrBlock::~ShaddrBlock() {
   // Cut every surviving image region loose from the rm node before the
-  // node dies. Text/SysV regions may outlive the block through other
-  // owners (fork children, the IPC registry); after this their pages are
-  // simply unaccounted.
-  for (auto& pr : space_.pregions()) {
-    pr->region->SetCharge(nullptr);
-  }
+  // node dies, and destroy any still-retired pregions while their charges
+  // can still be returned. Text/SysV regions may outlive the block through
+  // other owners (fork children, the IPC registry); after this their pages
+  // are simply unaccounted.
+  space_.TeardownRelease();
   space_.set_page_charge(nullptr);
   rm_.ReleaseNode(node_);
   for (const MasterFdSlot& s : ofile_) {
@@ -167,7 +171,6 @@ bool ShaddrBlock::TryAddMember(Proc& child, u32 shmask) {
 Status ShaddrBlock::UnshareVm(Proc& p) {
   SG_CHECK(p.as.shared() == &space_);
   UpdateGuard g(space_.lock());
-  auto& shared = space_.pregions();
 
   // The caller's private allocator is pristine-by-construction while it
   // shares VM (only the PRDA lives privately, below the arena); rebuild it
@@ -176,43 +179,46 @@ Status ShaddrBlock::UnshareVm(Proc& p) {
 
   // The caller's own stack MOVES out of the shared image: its writes keep
   // working, other members lose access (like a fork child's stack, it is
-  // "not visible in the share group virtual address space").
-  for (auto it = shared.begin(); it != shared.end(); ++it) {
-    if ((*it)->region->type() == RegionType::kStack && (*it)->stack_owner == p.pid) {
-      SG_CHECK(p.as.va().Reserve((*it)->base, (*it)->region->pages()).ok());
-      // The stack leaves the group image for good: return its resident
-      // pages to the group's account.
-      (*it)->region->SetCharge(nullptr);
-      p.as.AttachPrivate(std::move(*it));
-      shared.erase(it);
-      space_.va().Free(p.stack_base);
-      break;
-    }
+  // "not visible in the share group virtual address space"). ExtractStackOf
+  // bumps the layout seqcount, so a lockless faulter mid-resolution on the
+  // stack revalidates and retries.
+  if (auto stack = space_.ExtractStackOf(p.pid); stack != nullptr) {
+    SG_CHECK(p.as.va().Reserve(stack->base, stack->region->pages()).ok());
+    // The stack leaves the group image for good: return its resident
+    // pages to the group's account.
+    stack->region->SetCharge(nullptr);
+    space_.va().Free(p.stack_base);
+    p.as.AttachPrivate(std::move(stack));
   }
 
   // Copy-on-write snapshot of everything else, exactly the fork treatment.
-  for (auto& pr : shared) {
-    std::shared_ptr<Region> r;
-    switch (pr->region->type()) {
-      case RegionType::kText:
-      case RegionType::kShm:
-        r = pr->region;
-        break;
-      default:
-        r = pr->region->DupCow();
-        break;
-    }
-    auto copy = std::make_unique<Pregion>(std::move(r), pr->base, pr->prot);
-    copy->stack_owner = pr->stack_owner;
-    if (pr->base >= kArenaBase) {
-      SG_CHECK(p.as.va().Reserve(pr->base, pr->region->pages()).ok());
-    }
-    p.as.AttachPrivate(std::move(copy));
+  // One seqcount write section spans the COW marking and the shootdown: a
+  // racing lockless faulter that installed a writable entry off the
+  // pre-marking page table fails its re-check and undoes it.
+  {
+    SeqWriter w(space_.layout_seq());
+    space_.ForEachPregion([&](Pregion& pr) {
+      std::shared_ptr<Region> r;
+      switch (pr.region->type()) {
+        case RegionType::kText:
+        case RegionType::kShm:
+          r = pr.region;
+          break;
+        default:
+          r = pr.region->DupCow();
+          break;
+      }
+      auto copy = std::make_unique<Pregion>(std::move(r), pr.base, pr.prot);
+      copy->stack_owner = pr.stack_owner;
+      if (pr.base >= kArenaBase) {
+        SG_CHECK(p.as.va().Reserve(pr.base, pr.region->pages()).ok());
+      }
+      p.as.AttachPrivate(std::move(copy));
+    });
+    // COW marking revoked write permission group-wide; the moved stack
+    // vanished from the shared image: flush everyone, then detach.
+    space_.ShootdownAll();
   }
-
-  // COW marking revoked write permission group-wide; the moved stack
-  // vanished from the shared image: flush everyone, then detach.
-  space_.ShootdownAll();
   space_.RemoveMemberTlb(&p.as.tlb());
   p.as.set_shared(nullptr);
   p.as.tlb().FlushAll();
@@ -223,19 +229,15 @@ Status ShaddrBlock::UnshareVm(Proc& p) {
 Status ShaddrBlock::ShadowDataPrivately(Proc& p) {
   SG_CHECK(p.as.shared() == &space_);
   UpdateGuard g(space_.lock());
-  Pregion* data = nullptr;
-  for (auto& pr : space_.pregions()) {
-    if (pr->region->type() == RegionType::kData) {
-      data = pr.get();
-      break;
-    }
-  }
+  Pregion* data = space_.FindByType(RegionType::kData);
   if (data == nullptr) {
     return Errno::kEINVAL;
   }
+  // The COW marking write-protects the shared data pages for everyone;
+  // bracket it with the shootdown (see UnshareVm).
+  SeqWriter w(space_.layout_seq());
   auto copy = std::make_unique<Pregion>(data->region->DupCow(), data->base, data->prot);
   p.as.AttachPrivate(std::move(copy));
-  // The COW marking write-protected the shared data pages for everyone.
   space_.ShootdownAll();
   return Status::Ok();
 }
@@ -244,18 +246,18 @@ bool ShaddrBlock::RemoveMember(Proc& p) {
   SG_INJECT_POINT("shaddr.detach.pre_refcnt");
   if ((p.p_shmask & PR_SADDR) != 0 && p.as.shared() == &space_) {
     UpdateGuard g(space_.lock());
-    // Drop this member's stack from the shared image. Its frames are about
-    // to be freed, so the synchronous all-processor flush comes first.
-    auto& list = space_.pregions();
-    for (auto it = list.begin(); it != list.end(); ++it) {
-      if ((*it)->region->type() == RegionType::kStack && (*it)->stack_owner == p.pid) {
-        space_.ShootdownAll();
-        const vaddr_t base = (*it)->base;
-        list.erase(it);
-        space_.va().Free(base);
-        break;
-      }
+    // Drop this member's stack from the shared image. Its frames are freed
+    // only at the quiescence point below, so the shootdown still strictly
+    // precedes the free; a lockless faulter that raced the extraction
+    // fails its seqcount re-check and cannot keep a stale translation.
+    if (auto stack = space_.ExtractStackOf(p.pid); stack != nullptr) {
+      space_.ShootdownAll();
+      space_.va().Free(stack->base);
+      space_.RetirePregion(std::move(stack));
     }
+    // RemoveMemberTlb republishes the narrower member set and waits out
+    // every reader of the old snapshot — which also reclaims the retired
+    // stack above before this member's translation context goes away.
     space_.RemoveMemberTlb(&p.as.tlb());
     p.as.set_shared(nullptr);
     p.as.tlb().FlushAll();

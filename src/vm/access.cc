@@ -1,9 +1,9 @@
 #include "vm/access.h"
 
-#include <optional>
-
 #include "base/log.h"
+#include "base/mutex.h"
 #include "base/thread_annotations.h"
+#include "inject/inject.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
 #include "sync/shared_read_lock.h"
@@ -12,18 +12,37 @@
 namespace sg {
 
 namespace {
+
 // One fault-resolution attempt; HandleFault wraps it with the reclaim loop.
 Status HandleFaultOnce(AddressSpace& as, vaddr_t va, bool want_write);
+
+// Lockless lookup attempts before falling back to the ReadGuard path. Two
+// retries absorb back-to-back layout bumps (e.g. an sbrk racing an mmap);
+// past that the fault stream is contending with a writer burst and blocking
+// on the lock is the honest thing to do.
+constexpr int kLocklessAttempts = 3;
+
+// ENOMEM reclaim attempts before the fault gives up. Each round steals up
+// to 64 pages; if 16 rounds of successful stealing still cannot hold a
+// frame long enough to finish one resolution, other faulting members are
+// re-resolving frames as fast as we free them and looping further would
+// livelock (the bug this cap fixes), so kENOMEM surfaces to the caller.
+constexpr int kMaxReclaimRetries = 16;
+
 }  // namespace
 
 Status HandleFault(AddressSpace& as, vaddr_t va, bool want_write) {
-  for (;;) {
+  for (int attempt = 0;; ++attempt) {
     Status st = HandleFaultOnce(as, va, want_write);
     if (st.error() != Errno::kENOMEM) {
       return st;
     }
+    if (attempt >= kMaxReclaimRetries) {
+      return st;  // bounded: see kMaxReclaimRetries
+    }
     // Out of frames: wake the pager against our own visible image and
     // retry; give up only when nothing could be stolen.
+    SG_OBS_INC("vm.fault.reclaim_retries");
     if (ReclaimPages(as, 64) == 0) {
       return st;
     }
@@ -32,38 +51,18 @@ Status HandleFault(AddressSpace& as, vaddr_t va, bool want_write) {
 
 namespace {
 
-// Suppressed: the read guard is conditional (std::optional, only when the
-// faulting process shares VM) — unanalyzable for clang; lockdep covers it.
-Status HandleFaultOnce(AddressSpace& as, vaddr_t va, bool want_write) SG_NO_THREAD_SAFETY_ANALYSIS {
-  as.faults.fetch_add(1, std::memory_order_relaxed);
-  SG_OBS_INC("vm.faults");
-  obs::Trace(obs::TraceKind::kPageFault, va, want_write ? 1 : 0);
+bool ProtAllows(const Pregion& pr, bool want_write) {
+  return (pr.prot & (want_write ? kProtWrite : kProtRead)) != 0;
+}
 
-  // §6.2: every scan of the pregion lists runs under the shared read lock;
-  // if an updater (sbrk, mmap, shrink, fork, exec) holds it, we block here —
-  // this is precisely how a member that trapped after a shootdown waits for
-  // the VM modification to complete.
-  SharedSpace* ss = as.shared();
-  std::optional<ReadGuard> guard;
-  if (ss != nullptr) {
-    guard.emplace(ss->lock());
-  }
-
-  // Private pregions first, then the group's shared list — through the
-  // last-hit hint cache, so the common fault-cluster case skips both walks.
-  bool shared_pr = false;
-  Pregion* pr = as.FindPregionFast(va, &shared_pr);
-  if (pr == nullptr) {
-    return Errno::kEFAULT;
-  }
-  if (want_write && (pr->prot & kProtWrite) == 0) {
-    return Errno::kEFAULT;
-  }
-  if (!want_write && (pr->prot & kProtRead) == 0) {
-    return Errno::kEFAULT;
-  }
-
-  auto res = pr->region->Resolve(pr->PageIndex(va), want_write);
+// Resolves one page of `pr` and installs the translation in the faulter's
+// TLB. `flush_members(vpn)` runs when a COW break replaced the frame,
+// BEFORE the insert — for a shared pregion it must drop every member's
+// stale translation so their next access refaults onto the new frame.
+template <typename FlushFn>
+Status ResolveAndMap(AddressSpace& as, Pregion& pr, vaddr_t va, bool want_write,
+                     FlushFn&& flush_members) {
+  auto res = pr.region->Resolve(pr.PageIndex(va), want_write);
   if (!res.ok()) {
     return res.status();
   }
@@ -71,16 +70,120 @@ Status HandleFaultOnce(AddressSpace& as, vaddr_t va, bool want_write) SG_NO_THRE
     as.cow_breaks.fetch_add(1, std::memory_order_relaxed);
     SG_OBS_INC("vm.cow_breaks");
     obs::Trace(obs::TraceKind::kCowBreak, va);
-    if (shared_pr && ss != nullptr) {
-      // A COW break replaced a frame in the group-visible page table: other
-      // members' TLBs may cache the old frame. Drop those entries so their
-      // next access refaults onto the new frame.
-      ss->FlushPageAllMembers(PageOf(va));
-    }
+    flush_members(PageOf(va));
   }
-  const bool tlb_writable = res.value().writable && (pr->prot & kProtWrite) != 0;
+  const bool tlb_writable = res.value().writable && (pr.prot & kProtWrite) != 0;
   as.tlb().Insert(PageOf(va), res.value().pfn, tlb_writable);
   return Status::Ok();
+}
+
+// The §6.2 fault path, since PR 7 in the lockless form of DESIGN.md §4h.
+//
+// Private pregions are owner-thread state and resolve with no locking at
+// all. For the shared image, the hot path snapshots the layout seqcount,
+// looks `va` up in the published snapshot under an epoch guard, resolves
+// the page under only that pregion's lock, and then REVALIDATES the
+// seqcount: unchanged means no mutation straddled the resolution and the
+// installed translation stands. A failed revalidation undoes our own TLB
+// entry and retries; retry exhaustion or an in-progress writer falls back
+// to the classic ReadGuard path — which blocks until the updater finishes,
+// exactly how a member that trapped after a shootdown waits for the VM
+// modification to complete.
+//
+// Suppressed: the guard appears only on the fallback path and the pregion
+// lock is taken through a pointer — shapes clang's analysis cannot model.
+// The runtime lockdep validator covers these paths instead.
+Status HandleFaultOnce(AddressSpace& as, vaddr_t va, bool want_write) SG_NO_THREAD_SAFETY_ANALYSIS {
+  as.faults.fetch_add(1, std::memory_order_relaxed);
+  SG_OBS_INC("vm.faults");
+  obs::Trace(obs::TraceKind::kPageFault, va, want_write ? 1 : 0);
+
+  // Private pregions first (§6.2 scan order — a private page shadows the
+  // shared image). No group lock: nothing here is visible to other members.
+  if (Pregion* pr = as.FindPrivateFast(va); pr != nullptr) {
+    if (!ProtAllows(*pr, want_write)) {
+      return Errno::kEFAULT;
+    }
+    // A private COW break needs no cross-member flush; the insert below
+    // replaces our own stale entry.
+    return ResolveAndMap(as, *pr, va, want_write, [](u64) {});
+  }
+
+  SharedSpace* ss = as.shared();
+  if (ss == nullptr) {
+    SG_OBS_INC("vm.lookup_walks");
+    return Errno::kEFAULT;
+  }
+
+  for (int attempt = 0; attempt < kLocklessAttempts; ++attempt) {
+    u64 s0 = 0;
+    if (!ss->layout_seq().TryReadBegin(&s0)) {
+      break;  // a writer is mid-mutation right now: go block on the lock
+    }
+    SG_INJECT_POINT("vm.fault.lockless");
+    Status st = Errno::kEFAULT;
+    {
+      // The epoch guard pins the snapshot and everything it points to
+      // (including a pregion a concurrent munmap is retiring) until the
+      // end of this block.
+      SharedSpace::EpochGuard epoch(*ss);
+      const LayoutSnapshot* snap = ss->layout();
+      Pregion* pr = as.FindSharedFast(*snap, va, s0);
+      if (pr != nullptr) {
+        if (!ProtAllows(*pr, want_write)) {
+          st = Errno::kEFAULT;
+        } else {
+          // The pregion lock closes the resolve/insert vs pager-steal
+          // window; writers never take it — the seqcount recheck below is
+          // what protects against them.
+          MutexGuard pl(pr->lock);
+          st = ResolveAndMap(as, *pr, va, want_write, [&](u64 vpn) {
+            // Frame change published to every member BEFORE the seqcount
+            // re-check: a membership/layout change that could widen the
+            // member set forces a retry, never a missed invalidation.
+            SharedSpace::FlushPageAll(*snap, vpn);
+          });
+        }
+      }
+    }
+    if (ss->layout_seq().ReadValidate(s0)) {
+      // No mutation straddled us: the lookup (hit OR miss), the protection
+      // check, and any installed translation all belong to a stable layout.
+      if (st.ok()) {
+        SG_OBS_INC("vm.fault.lockless_hits");
+      }
+      return st;
+    }
+    // The layout moved underneath the resolution. Whatever we concluded —
+    // even a translation already visible in our TLB — may be stale (e.g. a
+    // frame freed by a racing shrink): drop our own entry and retry.
+    as.tlb().FlushPage(PageOf(va));
+    SG_OBS_INC("vm.fault.retries");
+    SG_INJECT_POINT("vm.fault.retry");
+  }
+
+  // Fallback ladder, last rung: the classic path. Blocks while an updater
+  // holds the lock; writers are excluded for the whole resolution, so no
+  // revalidation is needed. The pregion lock is still taken — the pager
+  // steals from shared pregions under the READ side, so the steal/insert
+  // race exists here too.
+  SG_OBS_INC("vm.fault.fallbacks");
+  SG_INJECT_POINT("vm.fault.fallback");
+  ReadGuard guard(ss->lock());
+  bool shared_pr = false;
+  Pregion* pr = as.FindPregionFast(va, &shared_pr);
+  if (pr == nullptr) {
+    return Errno::kEFAULT;
+  }
+  if (!ProtAllows(*pr, want_write)) {
+    return Errno::kEFAULT;
+  }
+  if (!shared_pr) {
+    return ResolveAndMap(as, *pr, va, want_write, [](u64) {});
+  }
+  MutexGuard pl(pr->lock);
+  return ResolveAndMap(as, *pr, va, want_write,
+                       [&](u64 vpn) { ss->FlushPageAllMembers(vpn); });
 }
 
 }  // namespace
@@ -137,7 +240,7 @@ namespace {
 template <typename Fn>
 Result<u32> AtomicOp32(AddressSpace& as, vaddr_t va, bool want_write, Fn&& fn) {
   if (va % 4 != 0) {
-    return Errno::kEFAULT;
+    return Errno::kEINVAL;  // contract violation, not a bad mapping
   }
   u32 out = 0;
   for (;;) {

@@ -94,7 +94,9 @@ Status FillUser(AddressSpace& as, vaddr_t dst, u8 byte, u64 len);
 // Word atomics on user memory — the substrate for user-level busy-wait
 // locks (§3: "best performance is obtained using some form of busy-waiting
 // ... with hardware support, synchronization speeds can approach memory
-// access speeds"). `va` must be 4-byte aligned.
+// access speeds"). `va` must be 4-byte aligned: a misaligned `va` is a
+// contract violation and returns kEINVAL (kEFAULT is reserved for
+// unmapped/forbidden addresses).
 Result<u32> AtomicLoad32(AddressSpace& as, vaddr_t va);
 Status AtomicStore32(AddressSpace& as, vaddr_t va, u32 value);
 // Returns the previous value; the exchange happened iff previous==expected.

@@ -27,6 +27,11 @@ u64 ReclaimPages(AddressSpace& as, u64 target) {
       if (stolen >= target) {
         break;
       }
+      // The pregion lock excludes concurrent faulters on this pregion
+      // (lockless or read-side): without it, a faulter could resolve a
+      // frame, lose the race to our flush-then-copy-out, and insert a
+      // stale translation to a frame we just swapped out.
+      MutexGuard pl(pr->lock);
       const u64 vpn0 = PageOf(pr->base);
       stolen += pr->region->StealPages(
           target - stolen, [&](u64 idx) { ss->FlushPageAllMembers(vpn0 + idx); });

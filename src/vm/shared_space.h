@@ -5,9 +5,31 @@
 //
 // It is owned by core::ShaddrBlock but lives in vm/ so the fault path does
 // not depend on the share-group layer.
+//
+// Lockless fault-path surface (DESIGN.md §4h). Since PR 7 the fault hot
+// path no longer takes the SharedReadLock at all:
+//
+//   * layout_seq() — a SeqCount bumped around every pregion-list or
+//     region-shape mutation. A lockless reader snapshots it, works, and
+//     revalidates; any intervening write section forces a retry.
+//   * layout() — an immutable LayoutSnapshot (pregion pointers + member
+//     TLB pointers) republished by every mutation. Readers load it with
+//     one atomic acquire; writers never mutate a published snapshot.
+//   * EpochGuard — two-parity sharded reader registration. A mutation that
+//     retires pregions or snapshots flips the parity and waits only for
+//     readers of the OLD parity to drain (AwaitQuiescent), so erased
+//     pregions are reclaimed without ever freeing memory a racing lockless
+//     reader may still dereference, and without writer livelock under a
+//     continuous fault stream.
+//
+// Every mutation goes through the methods below (AttachPregion,
+// DetachPregion, ExtractStackOf, AddMemberTlb, ...); tools/lint.sh bans
+// raw pregions() access outside src/vm/ so the snapshot can never go stale
+// behind the seqcount's back.
 #ifndef SRC_VM_SHARED_SPACE_H_
 #define SRC_VM_SHARED_SPACE_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -15,6 +37,7 @@
 #include "base/types.h"
 #include "hw/cpu_set.h"
 #include "hw/tlb.h"
+#include "sync/seqcount.h"
 #include "sync/shared_read_lock.h"
 #include "vm/layout.h"
 #include "vm/page_charge.h"
@@ -23,10 +46,30 @@
 
 namespace sg {
 
+// Immutable view of the group layout published to lockless readers. The
+// pointed-to Pregions are kept alive by the graveyard protocol: a pregion
+// leaving the list (and the snapshot that referenced it) is retired, not
+// destroyed, until every epoch reader that could hold it has drained.
+struct LayoutSnapshot {
+  std::vector<Pregion*> pregions;
+  std::vector<Tlb*> tlbs;  // member translation contexts (COW-break flush)
+
+  Pregion* Find(vaddr_t va) const {
+    for (Pregion* pr : pregions) {
+      if (pr->Contains(va)) {
+        return pr;
+      }
+    }
+    return nullptr;
+  }
+};
+
 class SharedSpace {
  public:
-  explicit SharedSpace(CpuSet& cpus)
-      : cpus_(cpus), va_(kArenaBase, kArenaEnd, kStackTop) {}
+  explicit SharedSpace(CpuSet& cpus);
+  // Owner-only teardown; no reader can exist (suppressed for clang's
+  // analysis, which cannot see that).
+  ~SharedSpace() SG_NO_THREAD_SAFETY_ANALYSIS;
   SharedSpace(const SharedSpace&) = delete;
   SharedSpace& operator=(const SharedSpace&) = delete;
 
@@ -37,17 +80,65 @@ class SharedSpace {
   // below even through this accessor.
   SharedReadLock& lock() SG_RETURN_CAPABILITY(lock_) { return lock_; }
 
-  // Update generation: advances on every update acquisition of the lock,
-  // i.e. before any pregion-list/VA mutation can begin. A Pregion* cached
-  // by a member (AddressSpace's lookup hint) while holding the read lock
-  // is still live iff the generation it was recorded under is unchanged —
-  // erasure requires the update side, which bumps this first.
-  u64 generation() const { return lock_.updates(); }
+  // ----- lockless reader surface (no lock held) -----
 
-  // The shared pregion list. Scans require the lock at least shared;
-  // mutations of the returned vector additionally require the update side
-  // (which clang cannot see through the reference — lockdep covers it).
-  std::vector<std::unique_ptr<Pregion>>& pregions() SG_REQUIRES_SHARED(lock_) {
+  // The layout sequence counter. Even while stable; bumped (odd, then even
+  // again) around every mutation that a lockless fault-path lookup must
+  // not straddle.
+  SeqCount& layout_seq() { return seq_; }
+
+  // Layout generation: the seqcount value. Only mutations advance it, so a
+  // Pregion* cached by a member (AddressSpace's lookup hint) is still live
+  // iff the generation it was recorded under is unchanged. Stable while
+  // the lock is held (read or update) — writers bump it only inside update
+  // sections — and equal to the TryReadBegin snapshot in lockless sections.
+  u64 generation() const { return seq_.value(); }
+
+  // Current published layout. Readers must wrap the load AND every use of
+  // the returned pointer in an EpochGuard (or hold the lock, which excludes
+  // the writers that retire snapshots).
+  const LayoutSnapshot* layout() const {
+    return snap_.load(std::memory_order_acquire);
+  }
+
+  // Registers the calling thread as an epoch reader for its lifetime.
+  // Writers retiring memory flip the parity and wait for the old side to
+  // drain, so anything reachable from a snapshot loaded inside the guard
+  // stays alive until the guard is destroyed.
+  class EpochGuard {
+   public:
+    explicit EpochGuard(SharedSpace& ss) : ss_(ss), slot_(EpochSlotIndex()) {
+      parity_ = ss_.epoch_parity_.load(std::memory_order_seq_cst) & 1;
+      ss_.epoch_slots_[slot_].n[parity_].fetch_add(1, std::memory_order_seq_cst);
+    }
+    ~EpochGuard() {
+      ss_.epoch_slots_[slot_].n[parity_].fetch_sub(1, std::memory_order_seq_cst);
+    }
+    EpochGuard(const EpochGuard&) = delete;
+    EpochGuard& operator=(const EpochGuard&) = delete;
+
+   private:
+    SharedSpace& ss_;
+    u32 slot_;
+    u32 parity_;
+  };
+
+  // Page-granular invalidation against a snapshot's member set: used by the
+  // lockless COW-break path, where the faulter holds no lock but does hold
+  // an EpochGuard pinning `l`. The flush is published BEFORE the caller's
+  // seqcount re-check, so a layout/membership change that could widen the
+  // member set forces a retry rather than a missed invalidation.
+  static void FlushPageAll(const LayoutSnapshot& l, u64 vpn) {
+    for (Tlb* t : l.tlbs) {
+      t->FlushPage(vpn);
+    }
+  }
+
+  // ----- locked scans (read side suffices) -----
+
+  // The shared pregion list (scan only — mutations go through the update
+  // API below so the published snapshot can never go stale).
+  const std::vector<std::unique_ptr<Pregion>>& pregions() const SG_REQUIRES_SHARED(lock_) {
     return pregions_;
   }
 
@@ -61,22 +152,82 @@ class SharedSpace {
     return nullptr;
   }
 
+  // Finds the first shared pregion whose region has type `t`.
+  Pregion* FindByType(RegionType t) SG_REQUIRES_SHARED(lock_) {
+    for (auto& pr : pregions_) {
+      if (pr->region->type() == t) {
+        return pr.get();
+      }
+    }
+    return nullptr;
+  }
+
+  template <typename Fn>
+  void ForEachPregion(Fn&& fn) SG_REQUIRES_SHARED(lock_) {
+    for (auto& pr : pregions_) {
+      fn(*pr);
+    }
+  }
+
+  // ----- mutations (update side) -----
+
   // Group VA allocator; callers hold the lock for update.
   VaAllocator& va() SG_REQUIRES(lock_) { return va_; }
 
+  // Attaches `pr` to the shared image (the caller already claimed its VA
+  // range): points its region at the group's page accountant, bumps the
+  // layout seqcount around the insert, republishes the snapshot, and
+  // opportunistically reclaims the graveyard. Returns the attached pregion.
+  Pregion* AttachPregion(std::unique_ptr<Pregion> pr) SG_REQUIRES(lock_);
+
+  // Detaches the pregion based at `base` (exact match): shoots down every
+  // member TLB, erases it from the list and republishes — all inside one
+  // seqcount write section — then cuts the region loose from the page
+  // accountant. Returns the detached pregion (the caller frees its VA range
+  // and usually retires it), or null if no pregion is based there.
+  std::unique_ptr<Pregion> DetachPregion(vaddr_t base) SG_REQUIRES(lock_);
+
+  // Extracts the stack pregion owned by `pid` from the shared image
+  // (seqcount-bracketed erase + republish; NO shootdown or charge change —
+  // the callers' policies differ). Null if `pid` has no stack here.
+  std::unique_ptr<Pregion> ExtractStackOf(pid_t pid) SG_REQUIRES(lock_);
+
+  // Hands an erased pregion to the graveyard: it is destroyed (frames
+  // freed, page charge returned by ~Region) only once no epoch reader can
+  // still hold a pointer to it — at the next AwaitQuiescent, or at an
+  // opportunistic TryReclaim that finds both parities empty.
+  void RetirePregion(std::unique_ptr<Pregion> pr) SG_REQUIRES(lock_);
+
+  // Rebuilds and publishes the layout snapshot from the authoritative list
+  // and member registry; the previous snapshot joins the graveyard. Called
+  // by every mutation above; exposed for compound update paths in vm/.
+  void Republish() SG_REQUIRES(lock_);
+
+  // Flips the epoch parity and spins until every reader of the old parity
+  // has drained, then frees the graveyard. Bounded: epoch sections span
+  // one fault resolution. New readers enter the new parity and see the
+  // current snapshot, so a continuous fault stream cannot livelock this.
+  void AwaitQuiescent() SG_REQUIRES(lock_);
+
+  // Frees the graveyard iff no epoch reader is registered on either parity
+  // right now (no waiting). Cheap enough for every attach.
+  void TryReclaim() SG_REQUIRES(lock_);
+
   // Member translation-context registry: update side to modify, at least
-  // read side to iterate.
-  void AddMemberTlb(Tlb* tlb) SG_REQUIRES(lock_) { member_tlbs_.push_back(tlb); }
-  void RemoveMemberTlb(Tlb* tlb) SG_REQUIRES(lock_) {
-    std::erase(member_tlbs_, tlb);
-  }
+  // read side to iterate. Both mutators republish and wait for old-snapshot
+  // readers to drain, so every in-flight lockless COW-break flush either
+  // completed against the old member set before the membership change
+  // returns, or runs against the new one.
+  void AddMemberTlb(Tlb* tlb) SG_REQUIRES(lock_);
+  void RemoveMemberTlb(Tlb* tlb) SG_REQUIRES(lock_);
   const std::vector<Tlb*>& member_tlbs() const SG_REQUIRES_SHARED(lock_) {
     return member_tlbs_;
   }
 
   // §6.2 shootdown: synchronously flush every member's translations on all
   // processors. Caller holds the lock for update; any member that then
-  // touches the space misses, enters the fault path, and blocks on the lock.
+  // touches the space misses, enters the fault path, and (seeing the odd
+  // seqcount or failing revalidation) lands on the lock.
   void ShootdownAll() SG_REQUIRES(lock_) { cpus_.SynchronousFlush(member_tlbs_); }
 
   // Page-granular invalidation used when a COW break in a shared region
@@ -94,18 +245,45 @@ class SharedSpace {
   // Resident-page accountant for this group's image (the share group's rm
   // node; null when the group has no manager). Set once by the owning
   // ShaddrBlock before any member runs; every region that joins the shared
-  // list is pointed at it (AttachRegion, stack attach) and cut loose when
-  // it leaves (Unmap, UnshareVm, block teardown).
+  // list is pointed at it (AttachPregion) and cut loose when it leaves
+  // (DetachPregion, UnshareVm, block teardown).
   void set_page_charge(PageCharge* c) { page_charge_ = c; }
   PageCharge* page_charge() const { return page_charge_; }
 
+  // Block teardown (no members remain, nobody can fault): cuts every
+  // surviving image region loose from the page accountant and frees the
+  // graveyard unconditionally, so retired regions return their charges
+  // while the accountant is still alive.
+  void TeardownRelease() SG_NO_THREAD_SAFETY_ANALYSIS;
+
  private:
+  static constexpr u32 kEpochSlots = 16;  // power of two
+  struct alignas(64) EpochSlot {
+    std::atomic<u64> n[2] = {0, 0};
+  };
+
+  static u32 EpochSlotIndex();
+
+  u64 EpochSum(u32 parity) const;
+  void FreeGraveyard() SG_REQUIRES(lock_);
+
   CpuSet& cpus_;
   PageCharge* page_charge_ = nullptr;
   SharedReadLock lock_;
+  SeqCount seq_{"vm.layout_seq"};
+  std::atomic<const LayoutSnapshot*> snap_;  // never null after construction
+
+  // Reader registration: writers flip epoch_parity_ and drain the old side.
+  EpochSlot epoch_slots_[kEpochSlots];
+  std::atomic<u32> epoch_parity_{0};
+
   std::vector<std::unique_ptr<Pregion>> pregions_ SG_GUARDED_BY(lock_);
   std::vector<Tlb*> member_tlbs_ SG_GUARDED_BY(lock_);
   VaAllocator va_ SG_GUARDED_BY(lock_);
+
+  // Deferred reclamation (erased pregions, superseded snapshots).
+  std::vector<std::unique_ptr<Pregion>> retired_pregions_ SG_GUARDED_BY(lock_);
+  std::vector<const LayoutSnapshot*> retired_snaps_ SG_GUARDED_BY(lock_);
 };
 
 }  // namespace sg

@@ -4,6 +4,7 @@
 
 #include "base/check.h"
 #include "base/thread_annotations.h"
+#include "sync/seqcount.h"
 #include "sync/shared_read_lock.h"
 
 namespace sg {
@@ -64,17 +65,22 @@ Result<vaddr_t> Sbrk(AddressSpace& as, i64 delta, u64 max_data_pages) SG_NO_THRE
     return old_brk;
   }
   // Shrink: frames are about to be freed. §6.2 — synchronously flush every
-  // processor's TLB first, while holding the update lock.
+  // processor's TLB first, while holding the update lock. The seqcount
+  // bracket covers flush + free together: a lockless faulter that resolved
+  // a doomed page re-checks the count after its TLB insert, fails, and
+  // drops its own entry (DESIGN.md §4h).
   const u64 sub = PagesFor(static_cast<u64>(-delta));
   if (sub > old_pages) {
     return Errno::kEINVAL;
   }
   if (ss != nullptr) {
+    SeqWriter w(ss->layout_seq());
     ss->ShootdownAll();
+    SG_RETURN_IF_ERROR(data->region->ShrinkTo(old_pages - sub));
   } else {
     as.tlb().FlushAll();
+    SG_RETURN_IF_ERROR(data->region->ShrinkTo(old_pages - sub));
   }
-  SG_RETURN_IF_ERROR(data->region->ShrinkTo(old_pages - sub));
   return old_brk;
 }
 
@@ -96,11 +102,9 @@ Result<vaddr_t> AttachRegion(AddressSpace& as, std::shared_ptr<Region> region, u
     if (!base.ok()) {
       return base.error();
     }
-    // The region joins the group image: its resident pages (usually zero for
-    // fresh mappings, but a re-attached SysV segment may be populated) count
-    // against the group's page cap from here on.
-    region->SetCharge(ss->page_charge());
-    ss->pregions().push_back(std::make_unique<Pregion>(std::move(region), base.value(), prot));
+    // AttachPregion points the region at the group's page accountant,
+    // publishes the new layout and bumps the seqcount around the insert.
+    ss->AttachPregion(std::make_unique<Pregion>(std::move(region), base.value(), prot));
     return base.value();
   }
   auto base = as.va().AllocUp(pages);
@@ -118,25 +122,30 @@ Status Unmap(AddressSpace& as, vaddr_t base) {
   SharedSpace* ss = as.shared();
   if (ss != nullptr) {
     UpdateGuard guard(ss->lock());
-    auto& list = ss->pregions();
-    for (auto it = list.begin(); it != list.end(); ++it) {
-      if ((*it)->base == base) {
-        if ((*it)->region->NeedsWriteBack()) {
-          SG_RETURN_IF_ERROR((*it)->region->WriteBack());
-        }
-        // Flush before free: no processor may retain a stale translation
-        // when the region's frames return to the allocator.
-        ss->ShootdownAll();
-        // Leaving the group image: return the resident pages to the group
-        // before the region (which may outlive the group via other owners —
-        // SysV segments) loses its last tie to this accountant.
-        (*it)->region->SetCharge(nullptr);
-        list.erase(it);
-        ss->va().Free(base);
-        return Status::Ok();
+    Pregion* found = nullptr;
+    for (auto& pr : ss->pregions()) {
+      if (pr->base == base) {
+        found = pr.get();
+        break;
       }
     }
-    return Errno::kEINVAL;
+    if (found == nullptr) {
+      return Errno::kEINVAL;
+    }
+    if (found->region->NeedsWriteBack()) {
+      SG_RETURN_IF_ERROR(found->region->WriteBack());
+    }
+    // DetachPregion shoots every member down, unpublishes the pregion and
+    // cuts it loose from the page accountant — all seqcount-bracketed. The
+    // pregion itself goes to the graveyard, and the quiescence wait below
+    // both guarantees no lockless faulter still holds it and returns its
+    // frames promptly (munmap's contract is that the memory is really gone).
+    auto owned = ss->DetachPregion(base);
+    SG_CHECK(owned != nullptr);
+    ss->va().Free(base);
+    ss->RetirePregion(std::move(owned));
+    ss->AwaitQuiescent();
+    return Status::Ok();
   }
   Pregion* pr = as.FindPrivate(base);
   if (pr == nullptr || pr->base != base) {
@@ -178,14 +187,15 @@ Status DuplicateForFork(AddressSpace& parent, AddressSpace& child) SG_NO_THREAD_
     dup_one(*pr);
   }
   if (ss != nullptr) {
+    // COW marking revokes write permission from pages other members may
+    // still hold cached writable — or may be about to re-resolve through
+    // the lockless fault path. The seqcount bracket spans marking + flush,
+    // so a racing faulter that installed a writable entry off the
+    // pre-marking page table fails its re-check and undoes it.
+    SeqWriter w(ss->layout_seq());
     for (auto& pr : ss->pregions()) {
       dup_one(*pr);
     }
-  }
-
-  // COW marking revoked write permission from pages that may still be
-  // cached writable in TLBs: flush them all before anyone writes again.
-  if (ss != nullptr) {
     ss->ShootdownAll();
   } else {
     parent.tlb().FlushAll();

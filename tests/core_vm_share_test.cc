@@ -8,6 +8,7 @@
 
 #include "api/kernel.h"
 #include "api/user_env.h"
+#include "obs/stats.h"
 
 namespace sg {
 namespace {
@@ -195,14 +196,17 @@ TEST(VmShare, TlbMissesRefillThroughSharedList) {
   RunAsProcess(k, [&](Env& env) {
     env.Sproc([](Env&, long) {}, PR_SADDR);
     env.WaitChild();
-    SharedSpace& ss = env.proc().shaddr->space();
-    const u64 reads_before = ss.lock().reads();
+    obs::Stats& stats = obs::Stats::Global();
+    const u64 lockless_before = stats.CounterValue("vm.fault.lockless_hits");
     vaddr_t a = env.Mmap(8 * kPageSize);
     for (u64 i = 0; i < 8; ++i) {
       env.Store32(a + i * kPageSize, static_cast<u32>(i));
     }
-    // Each first touch is a miss -> fault -> shared-read-lock scan.
-    EXPECT_GE(ss.lock().reads() - reads_before, 8u);
+    // Each first touch is a miss -> fault -> shared-image resolution. Since
+    // PR 7 (DESIGN.md §4h) the resolution validates against the layout
+    // seqcount instead of taking the group lock's read side; with no writer
+    // racing, every one of these resolves on the lockless path.
+    EXPECT_GE(stats.CounterValue("vm.fault.lockless_hits") - lockless_before, 8u);
     const u64 hits_before = env.proc().as.tlb().hits();
     for (u64 i = 0; i < 8; ++i) {
       EXPECT_EQ(env.Load32(a + i * kPageSize), static_cast<u32>(i));

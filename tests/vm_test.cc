@@ -161,7 +161,20 @@ TEST(Fault, ProtectionEnforced) {
 TEST(Fault, MisalignedScalarRejected) {
   Fixture f;
   EXPECT_EQ(Load<u32>(f.as, kDataBase + 2).error(), Errno::kEFAULT);
-  EXPECT_EQ(AtomicLoad32(f.as, kDataBase + 2).error(), Errno::kEFAULT);
+}
+
+TEST(Fault, AtomicErrorPathsDistinguished) {
+  // The word atomics separate the two failure modes: a misaligned va is a
+  // contract violation (kEINVAL), while kEFAULT is reserved for addresses
+  // that are unmapped or forbidden — same split on the write-side ops.
+  Fixture f;
+  EXPECT_EQ(AtomicLoad32(f.as, kDataBase + 2).error(), Errno::kEINVAL);
+  EXPECT_EQ(AtomicStore32(f.as, kDataBase + 2, 1).error(), Errno::kEINVAL);
+  EXPECT_EQ(AtomicFetchAdd32(f.as, kDataBase + 6, 1).error(), Errno::kEINVAL);
+  const vaddr_t unmapped = kDataBase + 64 * kPageSize;
+  EXPECT_EQ(AtomicLoad32(f.as, unmapped).error(), Errno::kEFAULT);
+  EXPECT_EQ(AtomicStore32(f.as, unmapped, 1).error(), Errno::kEFAULT);
+  EXPECT_EQ(AtomicCas32(f.as, unmapped, 0, 1).error(), Errno::kEFAULT);
 }
 
 TEST(Fault, CopyInOutAcrossPages) {
@@ -193,7 +206,7 @@ TEST(Fault, PrivateShadowsShared) {
     auto shared = Region::Alloc(mem, RegionType::kData, 1);
     const std::byte v[] = {std::byte{0xaa}};
     ASSERT_TRUE(shared->FillFrom(0, v).ok());
-    ss.pregions().push_back(std::make_unique<Pregion>(std::move(shared), kDataBase, kProtRw));
+    ss.AttachPregion(std::make_unique<Pregion>(std::move(shared), kDataBase, kProtRw));
   }
   EXPECT_EQ(Load<u8>(as, kDataBase).value(), 0xaau);
   // Attach a private region shadowing the same address.
@@ -236,7 +249,7 @@ TEST(Lookup, SharedHintInvalidatedByImageUpdate) {
   {
     UpdateGuard g(ss.lock());
     ss.AddMemberTlb(&as.tlb());
-    ss.pregions().push_back(std::make_unique<Pregion>(
+    ss.AttachPregion(std::make_unique<Pregion>(
         Region::Alloc(mem, RegionType::kAnon, 1), kArenaBase, kProtRw));
   }
   Pregion* first;
@@ -253,9 +266,10 @@ TEST(Lookup, SharedHintInvalidatedByImageUpdate) {
   // address. The generation moved, so the stale hint must not be returned.
   {
     UpdateGuard g(ss.lock());
-    ss.pregions().clear();
-    ss.ShootdownAll();
-    ss.pregions().push_back(std::make_unique<Pregion>(
+    auto old_pr = ss.DetachPregion(kArenaBase);
+    ASSERT_NE(old_pr, nullptr);
+    old_pr.reset();  // destroy it: a stale hint would now dangle
+    ss.AttachPregion(std::make_unique<Pregion>(
         Region::Alloc(mem, RegionType::kAnon, 2), kArenaBase, kProtRw));
   }
   {

@@ -79,6 +79,22 @@ if [ -n "${hits}" ]; then
   fail=1
 fi
 
+# 2d. The shared pregion list is private to the VM layer: outside src/vm/,
+#     SharedSpace::pregions() must not be called at all — not even under
+#     the group lock. Readers go through Find/FindByType/ForEachPregion or
+#     the published snapshot; updaters go through AttachPregion /
+#     DetachPregion / ExtractStackOf, which keep the layout seqcount and
+#     the RCU snapshot in step with the list. (private_pregions() is a
+#     different, per-process accessor and stays allowed.)
+hits=$(grep -rnE '(\.|->)pregions\(\)' "${repo}/src" "${repo}/tests" "${repo}/bench" \
+         --include='*.h' --include='*.cc' | grep -v '^[^:]*src/vm/' || true)
+if [ -n "${hits}" ]; then
+  echo "lint: SharedSpace::pregions() used outside src/vm/ (use Find*/" >&2
+  echo "      ForEachPregion or Attach/Detach/ExtractStackOf instead):" >&2
+  echo "${hits}" >&2
+  fail=1
+fi
+
 if [ "${fail}" -ne 0 ]; then
   echo "lint: FAIL" >&2
   exit 1
