@@ -122,28 +122,31 @@ Status HandleFaultOnce(AddressSpace& as, vaddr_t va, bool want_write) SG_NO_THRE
     }
     SG_INJECT_POINT("vm.fault.lockless");
     Status st = Errno::kEFAULT;
-    {
-      // The epoch guard pins the snapshot and everything it points to
-      // (including a pregion a concurrent munmap is retiring) until the
-      // end of this block.
-      SharedSpace::EpochGuard epoch(*ss);
-      const LayoutSnapshot* snap = ss->layout();
-      Pregion* pr = as.FindSharedFast(*snap, va, s0);
-      if (pr != nullptr) {
-        if (!ProtAllows(*pr, want_write)) {
-          st = Errno::kEFAULT;
-        } else {
-          // The pregion lock closes the resolve/insert vs pager-steal
-          // window; writers never take it — the seqcount recheck below is
-          // what protects against them.
-          MutexGuard pl(pr->lock);
-          st = ResolveAndMap(as, *pr, va, want_write, [&](u64 vpn) {
-            // Frame change published to every member BEFORE the seqcount
-            // re-check: a membership/layout change that could widen the
-            // member set forces a retry, never a missed invalidation.
-            SharedSpace::FlushPageAll(*snap, vpn);
-          });
-        }
+    // The epoch guard pins the snapshot and everything it points to
+    // (including a pregion a concurrent munmap is retiring) for the rest
+    // of this iteration. It MUST outlive the revalidation and the undo
+    // flush below: the instant we drop it, an updater's AwaitQuiescent may
+    // complete and free retired frames, so we stay registered until either
+    // the revalidation proves our TLB entry belongs to a stable layout or
+    // the entry is gone again. A sibling thread of this task shares our
+    // TLB — a stale entry outliving the quiescence point would let it
+    // translate to a freed frame.
+    SharedSpace::EpochGuard epoch(*ss);
+    const LayoutSnapshot* snap = ss->layout();
+    if (Pregion* pr = as.FindSharedFast(*snap, va, s0); pr != nullptr) {
+      if (!ProtAllows(*pr, want_write)) {
+        st = Errno::kEFAULT;
+      } else {
+        // The pregion lock closes the resolve/insert vs pager-steal
+        // window; writers never take it — the seqcount recheck below is
+        // what protects against them.
+        MutexGuard pl(pr->lock);
+        st = ResolveAndMap(as, *pr, va, want_write, [&](u64 vpn) {
+          // Frame change published to every member BEFORE the seqcount
+          // re-check: a membership/layout change that could widen the
+          // member set forces a retry, never a missed invalidation.
+          SharedSpace::FlushPageAll(*snap, vpn);
+        });
       }
     }
     if (ss->layout_seq().ReadValidate(s0)) {
@@ -156,7 +159,12 @@ Status HandleFaultOnce(AddressSpace& as, vaddr_t va, bool want_write) SG_NO_THRE
     }
     // The layout moved underneath the resolution. Whatever we concluded —
     // even a translation already visible in our TLB — may be stale (e.g. a
-    // frame freed by a racing shrink): drop our own entry and retry.
+    // frame freed by a racing shrink): drop our own entry, still inside the
+    // epoch so the updater cannot reach its free first, and retry. The
+    // inject seam stretches exactly that stale-entry window — a schedule
+    // parks us here while an updater spins in AwaitQuiescent against our
+    // epoch registration.
+    SG_INJECT_POINT("vm.fault.undo");
     as.tlb().FlushPage(PageOf(va));
     SG_OBS_INC("vm.fault.retries");
     SG_INJECT_POINT("vm.fault.retry");

@@ -1,5 +1,7 @@
 #include "vm/shared_space.h"
 
+#include <thread>
+
 #include "inject/inject.h"
 #include "obs/stats.h"
 #include "sync/spinlock.h"  // CpuRelax
@@ -58,9 +60,20 @@ void SharedSpace::AwaitQuiescent() {
   const u32 old = epoch_parity_.fetch_xor(1, std::memory_order_seq_cst) & 1;
   SG_INJECT_POINT("vm.layout.await_drain");
   u64 spins = 0;
+  u32 since_yield = 0;
   while (EpochSum(old) != 0) {
     CpuRelax();
     ++spins;
+    // Epoch sections are normally one CPU-bound fault resolution, but a
+    // resolve can hit the pager (swap-in) and hold its section for an I/O
+    // latency — and we are spinning with the group update lock held, with
+    // every other updater and fallback faulter queued behind us. Yield the
+    // host thread past a threshold (same policy as Spinlock's contended
+    // path) so a slow reader can actually run to its guard drop.
+    if (++since_yield == 1024) {
+      since_yield = 0;
+      std::this_thread::yield();
+    }
   }
   if (spins > 0) {
     SG_OBS_INC("vm.layout.drain_waits");
@@ -163,18 +176,30 @@ void SharedSpace::RetirePregion(std::unique_ptr<Pregion> pr) {
 }
 
 void SharedSpace::AddMemberTlb(Tlb* tlb) {
-  member_tlbs_.push_back(tlb);
-  Republish();
-  // Drain old-snapshot readers before the new member can run: any in-flight
-  // lockless COW-break flush that used the previous (narrower) member set
-  // completes before the member's first fault can cache a translation, so
-  // no member ever misses an invalidation.
+  {
+    // Seqcount-bracketed like every other layout mutation: a lockless
+    // COW-break that flushed only the old (narrower) member set fails its
+    // revalidation and retries against the widened snapshot, so the "a
+    // membership change forces a retry" invariant the fault path documents
+    // is carried by the counter itself, not only by the drain below.
+    SeqWriter w(seq_);
+    member_tlbs_.push_back(tlb);
+    Republish();
+  }
+  // Belt and braces on top of the retry: drain old-snapshot readers before
+  // the new member can run, so any in-flight flush against the previous
+  // member set completes before the member's first fault can cache a
+  // translation.
   AwaitQuiescent();
 }
 
 void SharedSpace::RemoveMemberTlb(Tlb* tlb) {
-  std::erase(member_tlbs_, tlb);
-  Republish();
+  {
+    // Same bracket as AddMemberTlb — see there.
+    SeqWriter w(seq_);
+    std::erase(member_tlbs_, tlb);
+    Republish();
+  }
   // The Tlb pointer is leaving the published member set; wait out every
   // reader that could still flush through the old snapshot before the
   // caller tears the context down.

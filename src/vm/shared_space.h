@@ -9,9 +9,10 @@
 // Lockless fault-path surface (DESIGN.md §4h). Since PR 7 the fault hot
 // path no longer takes the SharedReadLock at all:
 //
-//   * layout_seq() — a SeqCount bumped around every pregion-list or
-//     region-shape mutation. A lockless reader snapshots it, works, and
-//     revalidates; any intervening write section forces a retry.
+//   * layout_seq() — a SeqCount bumped around every pregion-list,
+//     region-shape, or member-TLB-registry mutation. A lockless reader
+//     snapshots it, works, and revalidates; any intervening write section
+//     forces a retry.
 //   * layout() — an immutable LayoutSnapshot (pregion pointers + member
 //     TLB pointers) republished by every mutation. Readers load it with
 //     one atomic acquire; writers never mutate a published snapshot.
@@ -214,10 +215,12 @@ class SharedSpace {
   void TryReclaim() SG_REQUIRES(lock_);
 
   // Member translation-context registry: update side to modify, at least
-  // read side to iterate. Both mutators republish and wait for old-snapshot
-  // readers to drain, so every in-flight lockless COW-break flush either
-  // completed against the old member set before the membership change
-  // returns, or runs against the new one.
+  // read side to iterate. Both mutators bump the layout seqcount around the
+  // republish — so a lockless COW-break that flushed only the old member
+  // set fails its revalidation and retries — and then wait for old-snapshot
+  // readers to drain, so every in-flight flush either completed against the
+  // old member set before the membership change returns, or runs against
+  // the new one.
   void AddMemberTlb(Tlb* tlb) SG_REQUIRES(lock_);
   void RemoveMemberTlb(Tlb* tlb) SG_REQUIRES(lock_);
   const std::vector<Tlb*>& member_tlbs() const SG_REQUIRES_SHARED(lock_) {

@@ -1,11 +1,13 @@
 // VM lockless-fault storm: fault workers sweeping the shared image race
 // mmap/munmap, sbrk grow/shrink, unshare and member-exit churn under
 // thousands of seeded injection schedules (src/inject/). The lockless
-// fault path (DESIGN.md §4h) has three seams a schedule can stretch —
+// fault path (DESIGN.md §4h) has four seams a schedule can stretch —
 // vm.fault.lockless (between the seqcount snapshot and the resolution),
-// vm.fault.retry (after a failed revalidation) and vm.fault.fallback
-// (entering the classic ReadGuard path) — plus vm.layout.await_drain in
-// the writer's quiescence wait. A stale-pregion dereference, a stale TLB
+// vm.fault.undo (revalidation failed, the possibly-stale TLB entry still
+// installed, the epoch guard still pinning the updater's quiescence wait),
+// vm.fault.retry (after the undo flush) and vm.fault.fallback (entering
+// the classic ReadGuard path) — plus vm.layout.await_drain in the
+// writer's quiescence wait. A stale-pregion dereference, a stale TLB
 // entry surviving a shootdown, or a leaked frame shows up as a crash,
 // tsan report, lockdep report or failed teardown invariant.
 //
