@@ -41,6 +41,15 @@ if grep -q '^SG_LOCKDEP:BOOL=ON$' "${build_dir}/CMakeCache.txt" 2>/dev/null; the
   exit 0
 fi
 
+# And for the sanitizers (asan/ubsan/tsan): instrumented numbers are not
+# perf points.
+for opt in SG_ASAN SG_UBSAN SG_TSAN; do
+  if grep -q "^${opt}:BOOL=ON$" "${build_dir}/CMakeCache.txt" 2>/dev/null; then
+    echo "skipping benches: ${build_dir} was configured with ${opt}=ON" >&2
+    exit 0
+  fi
+done
+
 tmp=$(mktemp)
 trap 'rm -f "${tmp}"' EXIT
 

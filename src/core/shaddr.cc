@@ -451,6 +451,11 @@ void ShaddrBlock::PublishFds(Proc& p) {
 // ----- scalar resources (under rupdlock_) -----
 
 void ShaddrBlock::UpdateDir(Proc& p, Inode* new_cwd, Inode* new_root) {
+  // Inode refcounts live under the inode-table mutex, which may block, so
+  // it must be taken BEFORE the spinlock (the reverse order slept inside
+  // rupdlock_ — caught by sgcheck sleep-in-atomic and lockdep).
+  InodeTable& inodes = vfs_.inodes();
+  auto tbl = inodes.Acquire();
   SpinGuard g(rupdlock_);
   // Double-update check (generation form): refresh from the master before
   // applying our own change, so a concurrent chroot by another member is
@@ -458,25 +463,25 @@ void ShaddrBlock::UpdateDir(Proc& p, Inode* new_cwd, Inode* new_root) {
   if (LaneGet(resgen_.load(std::memory_order_relaxed), kLaneDir) !=
           LaneGet(p.p_resgen, kLaneDir) ||
       (p.p_flag.load(std::memory_order_acquire) & kPfSyncDir) != 0) {
-    vfs_.inodes().Iput(p.cwd);
-    vfs_.inodes().Iput(p.rootdir);
-    p.cwd = vfs_.inodes().Iget(cdir_);
-    p.rootdir = vfs_.inodes().Iget(rdir_);
+    inodes.IputLocked(p.cwd);
+    inodes.IputLocked(p.rootdir);
+    p.cwd = inodes.IgetLocked(cdir_);
+    p.rootdir = inodes.IgetLocked(rdir_);
   }
   if (new_cwd != nullptr) {
-    vfs_.inodes().Iput(p.cwd);
+    inodes.IputLocked(p.cwd);
     p.cwd = new_cwd;  // counted ref transferred from the caller
   }
   if (new_root != nullptr) {
-    vfs_.inodes().Iput(p.rootdir);
+    inodes.IputLocked(p.rootdir);
     p.rootdir = new_root;
   }
   // Copy to the master (swap the block's references) and bump the lane —
   // O(1) in group size; members notice via the word compare at entry.
-  vfs_.inodes().Iput(cdir_);
-  vfs_.inodes().Iput(rdir_);
-  cdir_ = vfs_.inodes().Iget(p.cwd);
-  rdir_ = vfs_.inodes().Iget(p.rootdir);
+  inodes.IputLocked(cdir_);
+  inodes.IputLocked(rdir_);
+  cdir_ = inodes.IgetLocked(p.cwd);
+  rdir_ = inodes.IgetLocked(p.rootdir);
   const u64 lane = BumpScalarLane(kLaneDir);
   p.p_resgen = LaneSet(p.p_resgen, kLaneDir, lane);
   p.p_flag.fetch_and(~kPfSyncDir, std::memory_order_acq_rel);
@@ -486,11 +491,14 @@ void ShaddrBlock::UpdateDir(Proc& p, Inode* new_cwd, Inode* new_root) {
 }
 
 void ShaddrBlock::PullDir(Proc& p) {
+  // Same lock order as UpdateDir: inode-table mutex first, spinlock inside.
+  InodeTable& inodes = vfs_.inodes();
+  auto tbl = inodes.Acquire();
   SpinGuard g(rupdlock_);
-  vfs_.inodes().Iput(p.cwd);
-  vfs_.inodes().Iput(p.rootdir);
-  p.cwd = vfs_.inodes().Iget(cdir_);
-  p.rootdir = vfs_.inodes().Iget(rdir_);
+  inodes.IputLocked(p.cwd);
+  inodes.IputLocked(p.rootdir);
+  p.cwd = inodes.IgetLocked(cdir_);
+  p.rootdir = inodes.IgetLocked(rdir_);
   p.p_resgen =
       LaneSet(p.p_resgen, kLaneDir, LaneGet(resgen_.load(std::memory_order_relaxed), kLaneDir));
   p.p_flag.fetch_and(~kPfSyncDir, std::memory_order_acq_rel);

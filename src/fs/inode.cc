@@ -4,6 +4,7 @@
 
 #include "base/check.h"
 #include "fs/pipe.h"
+#include "sync/lockdep.h"
 
 namespace sg {
 
@@ -160,16 +161,29 @@ Result<Inode*> InodeTable::Alloc(InodeType type, mode_t mode, uid_t uid, gid_t g
   return raw;
 }
 
+std::unique_lock<std::mutex> InodeTable::Acquire() const {
+  lockdep::MaySleep("fs.itable.acquire");
+  return std::unique_lock<std::mutex>(mu_);
+}
+
 Inode* InodeTable::Iget(Inode* ip) {
-  std::lock_guard<std::mutex> l(mu_);
+  auto l = Acquire();
+  return IgetLocked(ip);
+}
+
+void InodeTable::Iput(Inode* ip) {
+  auto l = Acquire();
+  IputLocked(ip);
+}
+
+Inode* InodeTable::IgetLocked(Inode* ip) {
   auto it = table_.find(ip);
   SG_CHECK(it != table_.end());
   ++it->second.second;
   return ip;
 }
 
-void InodeTable::Iput(Inode* ip) {
-  std::lock_guard<std::mutex> l(mu_);
+void InodeTable::IputLocked(Inode* ip) {
   auto it = table_.find(ip);
   SG_CHECK(it != table_.end() && it->second.second > 0);
   --it->second.second;

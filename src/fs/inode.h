@@ -147,6 +147,20 @@ class InodeTable {
   // and the link count reach zero.
   void Iput(Inode* ip);
 
+  // Spin-safe refcounting. Iget/Iput take mu_, which may block, so a
+  // spinlock holder must not call them (sgcheck: sleep-in-atomic; lockdep
+  // reports the same at runtime). Callers that need to move inode
+  // references from inside a spinlock section take the table lock FIRST —
+  // mutex outside spinlock is the legal order — and use the *Locked forms
+  // within:
+  //
+  //   auto tbl = inodes.Acquire();   // may block (no spinlock held yet)
+  //   SpinGuard g(rupdlock_);
+  //   inodes.IputLocked(old);        // pure table ops, never blocks
+  std::unique_lock<std::mutex> Acquire() const;
+  Inode* IgetLocked(Inode* ip);  // caller holds the Acquire() lock
+  void IputLocked(Inode* ip);    // caller holds the Acquire() lock
+
   u32 RefCount(const Inode* ip) const;
   u64 Count() const;
 

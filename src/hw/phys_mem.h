@@ -54,13 +54,18 @@ class PhysMem {
  private:
   bool ValidPfn(pfn_t pfn) const { return pfn >= 1 && pfn < nframes_; }
 
+  // sgcheck:allow(guarded-fields): sized in the constructor, immutable after
   u64 nframes_;
+  // sgcheck:allow(guarded-fields): allocated once in the constructor; frame
+  // ownership is what lock_ protects (free_list_/refcount_), not the arena
   std::unique_ptr<std::byte[]> arena_;
 
   mutable Spinlock lock_{"physmem"};
   std::vector<pfn_t> free_list_ SG_GUARDED_BY(lock_);
   std::vector<u32> refcount_ SG_GUARDED_BY(lock_);
-  SwapSpace* swap_ = nullptr;  // set once at boot, then read-only
+  // sgcheck:allow(guarded-fields): set once at boot (AttachSwap) before any
+  // region exists, then read-only
+  SwapSpace* swap_ = nullptr;
 };
 
 }  // namespace sg

@@ -47,9 +47,11 @@ class SwapSpace {
   u64 ins() const { return ins_.load(std::memory_order_relaxed); }
 
  private:
+  // sgcheck:allow(guarded-fields): sized in the constructor, immutable after
   u32 nslots_;
   // Slot contents are pinned by slot ownership (a slot is touched only by
   // whoever holds its number), so store_ itself needs no lock.
+  // sgcheck:allow(guarded-fields): see above — slot-ownership protocol
   std::unique_ptr<std::byte[]> store_;
   mutable Spinlock lock_{"swap"};
   std::vector<u32> free_list_ SG_GUARDED_BY(lock_);

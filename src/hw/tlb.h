@@ -112,6 +112,7 @@ class Tlb {
   // Invalidates `e` (already checked Live).
   void Invalidate(Entry& e) SG_REQUIRES(lock_);
 
+  // sgcheck:allow(guarded-fields): set in the constructor, immutable after
   u32 nentries_;  // power of two; direct-mapped by low vpn bits
   // Owner thread probes/inserts; shootdowns flush remotely.
   Spinlock lock_{"tlb"};

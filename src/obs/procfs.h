@@ -100,11 +100,18 @@ class Procfs {
   std::string RenderGroup(u64 gid) const;
 
   Vfs& vfs_;
+  // sgcheck:allow(guarded-fields): callback bound at construction, then
+  // only invoked (std::function target never reseated)
   ProcLister procs_;
+  // sgcheck:allow(guarded-fields): callback bound at construction, see above
   GroupLister groups_;
 
+  // sgcheck:allow(guarded-fields): set once in Mount before /proc is
+  // reachable, then read-only
   Inode* proc_dir_ = nullptr;   // /proc (own counted ref held)
+  // sgcheck:allow(guarded-fields): set once in Mount, see above
   Inode* share_dir_ = nullptr;  // /proc/share (own counted ref held)
+  // sgcheck:allow(guarded-fields): set once in Mount, see above
   Inode* stat_file_ = nullptr;  // /proc/stat
 
   Mutex refresh_mu_;  // serializes concurrent traversal-driven refreshes

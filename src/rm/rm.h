@@ -176,6 +176,8 @@ class ResourceManager {
   u32 SetShares(GroupNode* node, u32 shares);
 
  private:
+  // sgcheck:allow(guarded-fields): allocated in the constructor and never
+  // reseated; the nodes it reaches synchronize themselves (per-node lock_)
   std::unique_ptr<GroupNode> root_;
   Mutex mu_;
   std::map<GroupNode*, std::unique_ptr<GroupNode>> nodes_ SG_GUARDED_BY(mu_);

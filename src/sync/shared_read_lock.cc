@@ -80,6 +80,9 @@ void SharedReadLock::SleepUntilReleased() {
   // Caller holds acclck_ and has already incremented waitcnt_.
   ExecutionContext* ctx = CurrentExecutionContext();
   {
+    // sgcheck:allow(sleep-in-atomic): wait-channel handoff — chan_m_ must be
+    // held before acclck_ drops or a concurrent ReleaseUpdate's generation
+    // bump is lost; chan_m_ sections are O(1) and take no other lock.
     std::unique_lock<std::mutex> cl(chan_m_);
     const u64 gen = release_gen_;
     // Release the spinlock only after chan_m_ is held: ReleaseUpdate clears
@@ -169,6 +172,8 @@ void SharedReadLock::AcquireReadSlow(Slot& slot) {
     read_waits_.fetch_add(1, std::memory_order_relaxed);
     SG_OBS_INC("sharedlock.read_waits");
     obs::Trace(obs::TraceKind::kLockReadWait);
+    // sgcheck:allow(sleep-in-atomic): handoff — SleepUntilReleased drops
+    // acclck_ before sleeping and re-holds it before returning.
     SleepUntilReleased();
     --waitcnt_;
   }
@@ -207,6 +212,8 @@ void SharedReadLock::AcquireUpdate() {
       named_update_waits_->Inc();
     }
     obs::Trace(obs::TraceKind::kLockUpdateWait);
+    // sgcheck:allow(sleep-in-atomic): handoff — SleepUntilReleased drops
+    // acclck_ before sleeping and re-holds it before returning.
     SleepUntilReleased();
     --waitcnt_;
   }

@@ -163,7 +163,10 @@ class SG_CAPABILITY("shared_read_lock") SharedReadLock {
   std::mutex chan_m_;
   std::condition_variable drain_cv_;
   std::condition_variable release_cv_;
+  // sgcheck:allow(guarded-fields): guarded by chan_m_ (std::mutex is not an
+  // SG capability type, so SG_GUARDED_BY cannot name it)
   u64 drain_gen_ = 0;
+  // sgcheck:allow(guarded-fields): guarded by chan_m_, see above
   u64 release_gen_ = 0;
 
   std::atomic<u64> updates_{0};
@@ -173,6 +176,8 @@ class SG_CAPABILITY("shared_read_lock") SharedReadLock {
 
   obs::LatencyHisto wait_histo_;  // per-lock update entry-to-grant
 
+  // sgcheck:allow(guarded-fields): written by SetName before the lock is
+  // shared (documented contract), read-only afterwards
   std::string name_;
   obs::Counter* named_updates_ = nullptr;
   obs::Counter* named_update_waits_ = nullptr;

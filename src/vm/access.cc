@@ -133,6 +133,9 @@ Status HandleFaultOnce(AddressSpace& as, vaddr_t va, bool want_write) SG_NO_THRE
     // translate to a freed frame.
     SharedSpace::EpochGuard epoch(*ss);
     const LayoutSnapshot* snap = ss->layout();
+    // sgcheck:allow(sleep-in-atomic): §4h — the lookup reads pregion bounds
+    // via the region mutex, a leaf lock with O(1) holders; a bounded stall
+    // under the epoch pin only delays reclaim, which AwaitQuiescent tolerates.
     if (Pregion* pr = as.FindSharedFast(*snap, va, s0); pr != nullptr) {
       if (!ProtAllows(*pr, want_write)) {
         st = Errno::kEFAULT;
@@ -140,7 +143,13 @@ Status HandleFaultOnce(AddressSpace& as, vaddr_t va, bool want_write) SG_NO_THRE
         // The pregion lock closes the resolve/insert vs pager-steal
         // window; writers never take it — the seqcount recheck below is
         // what protects against them.
+        // sgcheck:allow(sleep-in-atomic): §4h lock order — the per-pregion
+        // mutex is taken under the epoch pin by design; its holders (fault
+        // path, pager steal) never sleep while resolving.
         MutexGuard pl(pr->lock);
+        // sgcheck:allow(sleep-in-atomic): §4h — resolve takes the region
+        // mutex (leaf) and may touch swap via the slot-ownership protocol;
+        // the epoch pin is expected to span the whole resolve+flush+recheck.
         st = ResolveAndMap(as, *pr, va, want_write, [&](u64 vpn) {
           // Frame change published to every member BEFORE the seqcount
           // re-check: a membership/layout change that could widen the

@@ -271,6 +271,8 @@ class SharedSpace {
   void FreeGraveyard() SG_REQUIRES(lock_);
 
   CpuSet& cpus_;
+  // sgcheck:allow(guarded-fields): wired once (SetCharge) while the space
+  // is still private to its creator, then read-only
   PageCharge* page_charge_ = nullptr;
   SharedReadLock lock_;
   SeqCount seq_{"vm.layout_seq"};

@@ -3,6 +3,8 @@
 // that PR_JOINGROUP relies on.
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "core/shaddr.h"
 #include "core/share_mask.h"
 #include "fs/vfs.h"
@@ -218,6 +220,69 @@ TEST(ShaddrUnit, FdLaneWrapFallsBackToFlagging) {
   EXPECT_EQ(rig.vfs.files().Count(), 0u);
   rig.DestroyProc(*a);
   rig.DestroyProc(*b);
+}
+
+// Regression (the sgcheck find): UpdateDir/PullDir used to call Iget/Iput —
+// which take the inode-table mutex and may block — while holding rupdlock_,
+// a spinlock. The fix takes the table mutex FIRST (InodeTable::Acquire,
+// which reports itself to lockdep as a sleep site) and runs the *Locked
+// forms inside the spinlock, so the old order now fails three ways: sgcheck
+// sleep-in-atomic statically, lockdep's sleep-under-spin check dynamically
+// in this very test, and tsan on the concurrent section below.
+TEST(ShaddrUnit, DirUpdateTakesInodeTableMutexBeforeRupdlock) {
+  Rig rig;
+  auto a = rig.MakeProc(1);
+  auto b = rig.MakeProc(2);
+
+  const Cred cred;
+  ASSERT_TRUE(rig.vfs.Mkdir(a->cwd, a->rootdir, cred, "/sub", 0755, 0).ok());
+  Inode* sub = rig.vfs.Namei(a->cwd, a->rootdir, cred, "/sub").value();  // counted
+
+  {
+    ShaddrBlock block(*a, rig.cpus, rig.vfs, rig.rm);
+    rig.Attach(block, *b, PR_SDIR);
+
+    // a chdirs: the counted /sub ref transfers to UpdateDir, which installs
+    // it as a's cwd and reseats the block's master copy (its own ref).
+    block.UpdateDir(*a, sub, nullptr);
+    EXPECT_EQ(a->cwd, sub);
+    EXPECT_EQ(block.cdir(), sub);
+    EXPECT_EQ(rig.vfs.inodes().RefCount(sub), 2u);  // a->cwd + master copy
+
+    // b syncs on its next kernel entry: same directory, its own counted
+    // ref; the root stays its root.
+    block.SyncOnKernelEntry(*b);
+    EXPECT_EQ(b->cwd, sub);
+    EXPECT_EQ(b->rootdir, rig.vfs.root());
+    EXPECT_EQ(rig.vfs.inodes().RefCount(sub), 3u);
+
+    // Concurrent updater/puller: every iteration crosses the inode-table
+    // mutex + rupdlock_ pair, so a lock-order regression trips lockdep (and
+    // tsan sees any unlocked refcount traffic).
+    std::thread updater([&] {
+      for (int i = 0; i < 100; ++i) {
+        Inode* next = rig.vfs.inodes().Iget(i % 2 == 0 ? rig.vfs.root() : sub);
+        block.UpdateDir(*a, next, nullptr);
+      }
+    });
+    std::thread puller([&] {
+      for (int i = 0; i < 100; ++i) {
+        block.SyncOnKernelEntry(*b);
+      }
+    });
+    updater.join();
+    puller.join();
+    block.SyncOnKernelEntry(*b);
+    EXPECT_EQ(b->cwd, a->cwd);
+    EXPECT_EQ(b->rootdir, a->rootdir);
+
+    EXPECT_FALSE(block.RemoveMember(*b));
+    EXPECT_TRUE(block.RemoveMember(*a));
+  }
+  rig.DestroyProc(*a);
+  rig.DestroyProc(*b);
+  // Everything released: only the namespace (nlink) keeps /sub alive.
+  EXPECT_EQ(rig.vfs.inodes().RefCount(sub), 0u);
 }
 
 }  // namespace

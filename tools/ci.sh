@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# One-command CI: every checked configuration, in dependency order.
+#
+#   tools/ci.sh [preset...]
+#
+# With no arguments runs the full ladder:
+#
+#   default  — RelWithDebInfo, full test suite (includes the sgcheck
+#              self-test and the sgcheck run over the repo itself)
+#   tsan     — ThreadSanitizer, sync/core-focused suite (preset filter)
+#   lockdep  — runtime lock-order + sleep-under-spin validator, full suite
+#   asan     — AddressSanitizer, full suite
+#   ubsan    — UndefinedBehaviorSanitizer (hard errors), full suite
+#
+# Pass preset names to run a subset: `tools/ci.sh default asan`. The tsa
+# preset (clang -Wthread-safety) is not in the default ladder because the
+# container ships gcc only; add it explicitly where clang exists.
+#
+# Each preset is configure + build + ctest; the script stops at the first
+# failure so the log ends at the culprit.
+set -euo pipefail
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+cd "${repo}"
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(default tsan lockdep asan ubsan)
+fi
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+for p in "${presets[@]}"; do
+  echo "===================================================================="
+  echo "== ci: preset ${p}"
+  echo "===================================================================="
+  cmake --preset "${p}"
+  cmake --build --preset "${p}" -j "${jobs}"
+  ctest --preset "${p}" -j "${jobs}"
+done
+
+# Lint rides the default build's sgcheck binary (and clang-tidy if present).
+if [[ " ${presets[*]} " == *" default "* ]]; then
+  echo "===================================================================="
+  echo "== ci: lint"
+  echo "===================================================================="
+  "${repo}/tools/lint.sh" "${repo}/build"
+fi
+
+echo "ci: all green (${presets[*]})"

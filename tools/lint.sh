@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
-# Repository lint: clang-tidy (when available) plus banned-pattern checks
-# that encode the locking conventions clang-tidy cannot see.
+# Repository lint — a thin wrapper:
+#
+#   1. sgcheck (tools/sgcheck/): the dependency-free protocol checker. It
+#      owns every rule this script used to grep for (spinlock internals,
+#      ofile_/pregions() privacy, inject-point registry) plus the deep ones
+#      (sleep-in-atomic, guard-escape, seqcount-bracket, guarded-fields).
+#      Always runs; builds itself with the system C++ compiler if the build
+#      tree hasn't produced a binary yet.
+#   2. clang-tidy, only when installed AND the build dir has a compile
+#      database (the container image ships gcc only, so usually skipped).
 #
 #   tools/lint.sh [build-dir]
 #
-# The build dir only matters for clang-tidy (it needs compile_commands.json;
-# configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON). The pattern checks
-# always run and need nothing but grep. Exit nonzero on any violation.
+# Exit nonzero on any violation.
 set -uo pipefail
 
 repo=$(cd "$(dirname "$0")/.." && pwd)
@@ -14,11 +20,35 @@ build_dir=${1:-${repo}/build}
 fail=0
 
 # ---------------------------------------------------------------------------
-# 1. clang-tidy over src/ (skipped with a notice when clang-tidy or the
-#    compile database is missing — the container image ships gcc only).
+# 1. sgcheck.
+# ---------------------------------------------------------------------------
+sgcheck="${build_dir}/tools/sgcheck/sgcheck"
+if [ ! -x "${sgcheck}" ]; then
+  # No built binary: compile one into a scratch dir (four files, seconds).
+  scratch=$(mktemp -d)
+  trap 'rm -rf "${scratch}"' EXIT
+  cxx=${CXX:-c++}
+  echo "lint: building sgcheck with ${cxx} (no binary at ${sgcheck})" >&2
+  if ! "${cxx}" -std=c++20 -O1 -o "${scratch}/sgcheck" \
+       "${repo}"/tools/sgcheck/lexer.cc "${repo}"/tools/sgcheck/parser.cc \
+       "${repo}"/tools/sgcheck/rules.cc "${repo}"/tools/sgcheck/main.cc; then
+    echo "lint: sgcheck failed to build" >&2
+    exit 1
+  fi
+  sgcheck="${scratch}/sgcheck"
+fi
+
+echo "== sgcheck" >&2
+if ! "${sgcheck}" --repo "${repo}" \
+       --inject-registry "${repo}/tools/inject_points.txt"; then
+  fail=1
+fi
+
+# ---------------------------------------------------------------------------
+# 2. clang-tidy (optional).
 # ---------------------------------------------------------------------------
 if ! command -v clang-tidy >/dev/null 2>&1; then
-  echo "lint: clang-tidy not found; skipping static checks (pattern checks still run)" >&2
+  echo "lint: clang-tidy not found; skipping (sgcheck already ran)" >&2
 elif [ ! -f "${build_dir}/compile_commands.json" ]; then
   echo "lint: ${build_dir}/compile_commands.json missing; skipping clang-tidy" >&2
   echo "      configure with: cmake -B ${build_dir} -S ${repo} -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
@@ -28,71 +58,6 @@ else
   if ! clang-tidy -p "${build_dir}" --quiet $(find "${repo}/src" -name '*.cc' | sort); then
     fail=1
   fi
-fi
-
-# ---------------------------------------------------------------------------
-# 2. Banned patterns.
-# ---------------------------------------------------------------------------
-echo "== banned patterns" >&2
-
-# 2a. Spinlock internals stay inside sync/: nothing outside src/sync may
-#     poke a lock's flag word directly (that bypasses the lockdep hooks and
-#     the Unlock holder check).
-hits=$(grep -rn 'flag_\.store\|flag_\.exchange' "${repo}/src" \
-         --include='*.h' --include='*.cc' | grep -v '^[^:]*src/sync/' || true)
-if [ -n "${hits}" ]; then
-  echo "lint: raw spinlock flag manipulation outside src/sync/:" >&2
-  echo "${hits}" >&2
-  fail=1
-fi
-
-# 2b. Injection points must be registered: every SG_INJECT_POINT /
-#     SG_INJECT_FAULT name in src/ must appear in tools/inject_points.txt,
-#     so storm plans and the lint registry can't silently drift apart.
-registry="${repo}/tools/inject_points.txt"
-planted=$(grep -rhoE 'SG_INJECT_(POINT|FAULT)\("[^"]+"\)' "${repo}/src" \
-            --include='*.cc' --include='*.h' \
-          | grep -v 'src/inject/' \
-          | sed -E 's/SG_INJECT_(POINT|FAULT)\("([^"]+)"\)/\2/' | sort -u)
-unregistered=""
-for name in ${planted}; do
-  if ! grep -qx "${name}" <(grep -v '^#' "${registry}" | grep -v '^$'); then
-    unregistered="${unregistered} ${name}"
-  fi
-done
-if [ -n "${unregistered}" ]; then
-  echo "lint: injection points planted but not registered in tools/inject_points.txt:" >&2
-  for name in ${unregistered}; do echo "  ${name}" >&2; done
-  fail=1
-fi
-
-# 2c. The master descriptor table is private to the fupdsema_ bracket:
-#     nothing outside core/shaddr.{h,cc} may touch ofile_ slots directly.
-#     Syscall code goes through LockFileUpdate / PullFdsIfFlagged /
-#     PublishFds / UnlockFileUpdate so every write is generation-stamped.
-hits=$(grep -rn 'ofile_' "${repo}/src" --include='*.h' --include='*.cc' \
-         | grep -v '^[^:]*src/core/shaddr\.\(h\|cc\):' || true)
-if [ -n "${hits}" ]; then
-  echo "lint: direct ofile_ access outside src/core/shaddr.{h,cc} (use the" >&2
-  echo "      fupdsema update bracket: PullFdsIfFlagged/PublishFds):" >&2
-  echo "${hits}" >&2
-  fail=1
-fi
-
-# 2d. The shared pregion list is private to the VM layer: outside src/vm/,
-#     SharedSpace::pregions() must not be called at all — not even under
-#     the group lock. Readers go through Find/FindByType/ForEachPregion or
-#     the published snapshot; updaters go through AttachPregion /
-#     DetachPregion / ExtractStackOf, which keep the layout seqcount and
-#     the RCU snapshot in step with the list. (private_pregions() is a
-#     different, per-process accessor and stays allowed.)
-hits=$(grep -rnE '(\.|->)pregions\(\)' "${repo}/src" "${repo}/tests" "${repo}/bench" \
-         --include='*.h' --include='*.cc' | grep -v '^[^:]*src/vm/' || true)
-if [ -n "${hits}" ]; then
-  echo "lint: SharedSpace::pregions() used outside src/vm/ (use Find*/" >&2
-  echo "      ForEachPregion or Attach/Detach/ExtractStackOf instead):" >&2
-  echo "${hits}" >&2
-  fail=1
 fi
 
 if [ "${fail}" -ne 0 ]; then

@@ -1,0 +1,180 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace sgcheck {
+
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+// Multi-character punctuators, longest first within each head character.
+// Enough for call/scope detection; anything unlisted lexes one char at a
+// time, which no rule cares about.
+const char* kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", ".*",
+};
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& src) {
+  std::vector<Token> out;
+  const size_t n = src.size();
+  size_t i = 0;
+  int line = 1;
+
+  auto push = [&](Tok k, size_t begin, size_t end, int l) {
+    out.push_back(Token{k, src.substr(begin, end - begin), l});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: only when '#' is the first non-blank on the
+    // line. Consume through backslash continuations.
+    if (c == '#') {
+      size_t bol = src.rfind('\n', i == 0 ? 0 : i - 1);
+      bol = (bol == std::string::npos) ? 0 : bol + 1;
+      bool first = true;
+      for (size_t j = bol; j < i; ++j) {
+        if (!std::isspace(static_cast<unsigned char>(src[j]))) {
+          first = false;
+          break;
+        }
+      }
+      if (first) {
+        const size_t begin = i;
+        const int l0 = line;
+        while (i < n) {
+          if (src[i] == '\n') {
+            if (i > 0 && src[i - 1] == '\\') {
+              ++line;
+              ++i;
+              continue;
+            }
+            break;
+          }
+          // A // comment inside a directive runs to the same EOL; a /*
+          // block may span lines — skip it so its newlines don't end the
+          // directive prematurely.
+          if (src[i] == '/' && i + 1 < n && src[i + 1] == '*') {
+            i += 2;
+            while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+              if (src[i] == '\n') ++line;
+              ++i;
+            }
+            i = (i + 1 < n) ? i + 2 : n;
+            continue;
+          }
+          ++i;
+        }
+        push(Tok::kPp, begin, i, l0);
+        continue;
+      }
+    }
+
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const size_t begin = i;
+      while (i < n && src[i] != '\n') ++i;
+      push(Tok::kComment, begin, i, line);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const size_t begin = i;
+      const int l0 = line;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      push(Tok::kComment, begin, i, l0);
+      continue;
+    }
+
+    // Raw string literal R"delim(...)delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      size_t d = i + 2;
+      while (d < n && src[d] != '(' && src[d] != '"' && src[d] != '\n') ++d;
+      if (d < n && src[d] == '(') {
+        const std::string closer = ")" + src.substr(i + 2, d - (i + 2)) + "\"";
+        const size_t end = src.find(closer, d + 1);
+        const size_t stop = (end == std::string::npos) ? n : end + closer.size();
+        const int l0 = line;
+        for (size_t j = i; j < stop; ++j) {
+          if (src[j] == '\n') ++line;
+        }
+        push(Tok::kString, i, stop, l0);
+        i = stop;
+        continue;
+      }
+    }
+
+    if (c == '"' || c == '\'') {
+      const size_t begin = i;
+      const int l0 = line;
+      const char q = c;
+      ++i;
+      while (i < n && src[i] != q) {
+        if (src[i] == '\\' && i + 1 < n) {
+          ++i;
+        } else if (src[i] == '\n') {
+          ++line;  // unterminated; keep line numbers honest
+        }
+        ++i;
+      }
+      if (i < n) ++i;
+      push(q == '"' ? Tok::kString : Tok::kChar, begin, i, l0);
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      const size_t begin = i;
+      while (i < n && IsIdentChar(src[i])) ++i;
+      push(Tok::kIdent, begin, i, line);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      const size_t begin = i;
+      while (i < n && (IsIdentChar(src[i]) || src[i] == '.' || src[i] == '\'' ||
+                       ((src[i] == '+' || src[i] == '-') && i > begin &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E' || src[i - 1] == 'p' ||
+                         src[i - 1] == 'P')))) {
+        ++i;
+      }
+      push(Tok::kNumber, begin, i, line);
+      continue;
+    }
+
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      const size_t len = std::char_traits<char>::length(p);
+      if (src.compare(i, len, p) == 0) {
+        push(Tok::kPunct, i, i + len, line);
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      push(Tok::kPunct, i, i + 1, line);
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace sgcheck

@@ -1,0 +1,38 @@
+// sgcheck lexer — a minimal C++ tokenizer, just enough structure for the
+// protocol rules in rules.cc: identifiers, literals, punctuation, comments
+// (kept, so suppressions and doc text can be inspected), and preprocessor
+// directives (kept as single tokens so the parser can skip them without
+// losing line accounting). No keyword table beyond what the parser needs;
+// no macro expansion — sgcheck reads the source the way a reviewer does.
+#ifndef TOOLS_SGCHECK_LEXER_H_
+#define TOOLS_SGCHECK_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace sgcheck {
+
+enum class Tok {
+  kIdent,    // identifiers and keywords
+  kNumber,   // numeric literal (incl. suffixes)
+  kString,   // "..." (escapes handled; raw strings handled)
+  kChar,     // '...'
+  kPunct,    // one operator/punctuator, longest-match ("->", "::", "<<=", ...)
+  kComment,  // // line or /* block */ (text includes the delimiters)
+  kPp,       // one whole preprocessor directive (continuations joined)
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line;  // 1-based line of the token's first character
+};
+
+// Tokenizes `src`. Never fails: malformed input degenerates into punct/ident
+// soup, and the parser is written to survive that (sgcheck must not crash on
+// any tree it is pointed at).
+std::vector<Token> Lex(const std::string& src);
+
+}  // namespace sgcheck
+
+#endif  // TOOLS_SGCHECK_LEXER_H_

@@ -1,0 +1,149 @@
+// sgcheck — static checker for the sharing/locking protocol (DESIGN.md §4i).
+//
+// Usage:
+//   sgcheck --repo <dir> [--inject-registry <file>]
+//       Full analysis of <dir>/src/**/*.{h,cc}; token rules additionally run
+//       over <dir>/tests and <dir>/bench (matching the old lint.sh scope).
+//   sgcheck [--inject-registry <file>] <file>...
+//       Full analysis of the listed files (fixture/self-test mode; directory
+//       scoping is off, so every rule is live).
+//
+// Output: "<file>:<line>: error: [<rule>] <message>", one line per finding,
+// sorted; exit status 1 if anything (including a malformed suppression)
+// was reported, 0 on a clean tree.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "lexer.h"
+#include "parser.h"
+#include "rules.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool IsSourceName(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".hpp" || ext == ".cpp";
+}
+
+// Collects .h/.cc files under root/sub (sorted for deterministic output).
+void Discover(const fs::path& root, const std::string& sub, bool full,
+              std::vector<std::pair<std::string, bool>>* out) {
+  const fs::path dir = root / sub;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return;
+  std::vector<std::string> paths;
+  for (auto it = fs::recursive_directory_iterator(dir, ec);
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (it->is_regular_file(ec) && IsSourceName(it->path())) {
+      paths.push_back(it->path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (std::string& p : paths) out->emplace_back(std::move(p), full);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sgcheck::Options opt;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--repo" && i + 1 < argc) {
+      opt.repo = argv[++i];
+    } else if (a == "--inject-registry" && i + 1 < argc) {
+      opt.inject_registry = argv[++i];
+    } else if (a == "--help" || a == "-h") {
+      std::cout << "usage: sgcheck --repo DIR [--inject-registry FILE]\n"
+                   "       sgcheck [--inject-registry FILE] FILE...\n";
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "sgcheck: unknown flag '" << a << "'\n";
+      return 2;
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (opt.repo.empty() && files.empty()) {
+    std::cerr << "sgcheck: nothing to check (pass --repo DIR or files)\n";
+    return 2;
+  }
+
+  // (path, full-analysis?) work list.
+  std::vector<std::pair<std::string, bool>> work;
+  if (!opt.repo.empty()) {
+    Discover(opt.repo, "src", /*full=*/true, &work);
+    Discover(opt.repo, "tests", /*full=*/false, &work);
+    Discover(opt.repo, "bench", /*full=*/false, &work);
+    if (opt.inject_registry.empty()) {
+      const fs::path def = fs::path(opt.repo) / "tools" / "inject_points.txt";
+      std::error_code ec;
+      if (fs::exists(def, ec)) opt.inject_registry = def.string();
+    }
+  }
+  for (const std::string& f : files) work.emplace_back(f, /*full=*/true);
+
+  sgcheck::Program prog;
+  std::vector<sgcheck::Diag> diags;
+  for (const auto& [path, full] : work) {
+    std::string text;
+    if (!ReadFile(path, &text)) {
+      std::cerr << "sgcheck: cannot read " << path << "\n";
+      return 2;
+    }
+    sgcheck::SourceFile sf;
+    sf.full = full;
+    sf.toks = sgcheck::Lex(text);
+    for (size_t t = 0; t < sf.toks.size(); ++t) {
+      if (sf.toks[t].kind != sgcheck::Tok::kComment &&
+          sf.toks[t].kind != sgcheck::Tok::kPp) {
+        sf.sig.push_back(t);
+      }
+    }
+    if (!opt.repo.empty()) {
+      std::error_code ec;
+      const fs::path rel = fs::relative(path, opt.repo, ec);
+      sf.rel = ec ? path : rel.generic_string();
+      sf.path = sf.rel;  // print repo-relative paths
+    } else {
+      sf.rel = path;
+      sf.path = path;
+    }
+    sgcheck::CollectAllows(sf, sgcheck::kKnownRules, diags);
+    prog.files.push_back(std::move(sf));
+  }
+
+  // Structure first (across every full file, so field/accessor maps are
+  // complete), then the body walk.
+  for (int i = 0; i < static_cast<int>(prog.files.size()); ++i) {
+    if (prog.files[i].full) sgcheck::ParseStructure(prog, i);
+  }
+  for (int i = 0; i < static_cast<int>(prog.files.size()); ++i) {
+    if (prog.files[i].full) sgcheck::WalkBodies(prog, i);
+  }
+
+  sgcheck::RunRules(prog, opt, diags);
+  for (const sgcheck::Diag& d : diags) {
+    std::cout << d.file << ":" << d.line << ": error: [" << d.rule << "] "
+              << d.msg << "\n";
+  }
+  if (!diags.empty()) {
+    std::cout << "sgcheck: " << diags.size() << " finding(s)\n";
+    return 1;
+  }
+  return 0;
+}

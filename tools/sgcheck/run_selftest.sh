@@ -1,0 +1,76 @@
+#!/bin/sh
+# sgcheck self-test: run every testdata fixture through the checker and
+# golden-diff the diagnostics.
+#
+#   run_selftest.sh <sgcheck-binary> <testdata-dir>
+#
+# For each <name>.cc there is a <name>.expected with the exact diagnostics
+# (empty for a clean fixture) and optionally a <name>.registry passed as
+# --inject-registry. The checker must exit 1 when it reports findings and 0
+# when it reports none; anything else (including a crash) fails the test.
+set -u
+
+if [ $# -ne 2 ]; then
+  echo "usage: $0 <sgcheck-binary> <testdata-dir>" >&2
+  exit 2
+fi
+BIN=$(cd "$(dirname "$1")" && pwd)/$(basename "$1")
+DIR=$2
+
+fail=0
+for src in "$DIR"/*.cc; do
+  name=$(basename "$src" .cc)
+  exp="$DIR/$name.expected"
+  if [ ! -f "$exp" ]; then
+    echo "FAIL $name: missing golden file $exp" >&2
+    fail=1
+    continue
+  fi
+
+  set --
+  if [ -f "$DIR/$name.registry" ]; then
+    set -- --inject-registry "$name.registry"
+  fi
+
+  # cd so diagnostics print bare fixture names (stable goldens).
+  out=$(cd "$DIR" && "$BIN" "$@" "$name.cc" 2>&1)
+  status=$?
+
+  want_status=0
+  [ -s "$exp" ] && want_status=1
+  if [ "$status" -ne "$want_status" ]; then
+    echo "FAIL $name: exit $status, want $want_status" >&2
+    fail=1
+  fi
+
+  if [ -n "$out" ]; then
+    printf '%s\n' "$out" > "/tmp/sgcheck_selftest_$name.out"
+  else
+    : > "/tmp/sgcheck_selftest_$name.out"
+  fi
+  if ! diff -u "$exp" "/tmp/sgcheck_selftest_$name.out"; then
+    echo "FAIL $name: diagnostics differ from golden (see diff above)" >&2
+    fail=1
+  else
+    echo "ok   $name"
+  fi
+  rm -f "/tmp/sgcheck_selftest_$name.out"
+done
+
+# Usage errors must exit 2, not 0/1.
+"$BIN" --bogus-flag >/dev/null 2>&1
+if [ $? -ne 2 ]; then
+  echo "FAIL usage: unknown flag did not exit 2" >&2
+  fail=1
+else
+  echo "ok   usage-error exit code"
+fi
+"$BIN" >/dev/null 2>&1
+if [ $? -ne 2 ]; then
+  echo "FAIL usage: empty invocation did not exit 2" >&2
+  fail=1
+else
+  echo "ok   empty-invocation exit code"
+fi
+
+exit $fail

@@ -1,0 +1,52 @@
+// sgcheck fixture: a fully protocol-conformant file — zero findings, exit 0.
+
+namespace fix {
+
+struct Pregion {
+  int va;
+};
+
+struct LayoutSnapshot {
+  Pregion* Find(int va);
+};
+
+class Space {
+ public:
+  // Snapshot pointers live and die inside the pin.
+  int Probe(int va) {
+    EpochGuard eg;
+    LayoutSnapshot* snap = snapshot();
+    Pregion* pr = snap->Find(va);
+    return pr != nullptr ? pr->va : -1;
+  }
+
+  // Mutations sit inside the SeqWriter bracket.
+  void Attach(Pregion* p) {
+    SeqWriter w(seq_);
+    pregions_.push_back(p);
+    Republish();
+  }
+
+  // The sleep happens before the spinlock section, not inside it.
+  void Update(int va) {
+    sem_.P();
+    {
+      SpinGuard g(lock_);
+      hint_ = va;
+    }
+    sem_.V();
+  }
+
+ private:
+  LayoutSnapshot* snapshot();
+  void Republish();
+
+  Spinlock lock_;
+  SeqCount seq_;
+  Semaphore sem_;
+  int hint_ SG_GUARDED_BY(lock_) = 0;
+  std::atomic<int> faults_{0};
+  std::vector<Pregion*> pregions_;  // sgcheck:allow(guarded-fields): fixture — written only under seq_'s write section
+};
+
+}  // namespace fix

@@ -1,0 +1,79 @@
+// sgcheck fixture: R2 guard-escape — snapshot-derived pointers must not
+// outlive the epoch pin that keeps the graveyard from freeing them.
+
+namespace fix {
+
+struct Pregion {
+  int va;
+};
+
+struct LayoutSnapshot {
+  Pregion* Find(int va);
+};
+
+class Space {
+ public:
+  LayoutSnapshot* snapshot();
+
+  // VIOLATION: returning a snapshot-derived pointer out of the pinned scope.
+  Pregion* LeakByReturn(int va) {
+    EpochGuard eg;
+    LayoutSnapshot* snap = snapshot();
+    Pregion* pr = snap->Find(va);
+    return pr;
+  }
+
+  // VIOLATION: storing a snapshot-derived pointer into a member.
+  void LeakByStore(int va) {
+    EpochGuard eg;
+    LayoutSnapshot* snap = snapshot();
+    Pregion* pr = snap->Find(va);
+    cached_ = pr;
+  }
+
+  // VIOLATION: pushing a snapshot-derived pointer into an out-param that
+  // outlives the pin.
+  void LeakByContainer(std::vector<Pregion*>* out, int va) {
+    EpochGuard eg;
+    LayoutSnapshot* snap = snapshot();
+    Pregion* pr = snap->Find(va);
+    out->push_back(pr);
+  }
+
+  // VIOLATION: a static local outlives every pin.
+  void LeakByStatic(int va) {
+    EpochGuard eg;
+    LayoutSnapshot* snap = snapshot();
+    static Pregion* last = snap->Find(va);
+    last->va = va;
+  }
+
+  // NEGATIVE: declaring locals from the snapshot, aliasing them, and copying
+  // plain values out are all fine — only the pointers are pinned.
+  int UseInside(int va) {
+    EpochGuard eg;
+    LayoutSnapshot* snap = snapshot();
+    Pregion* pr = snap->Find(va);
+    Pregion* alias = pr;
+    int v = alias->va;
+    return v;
+  }
+
+  // NEGATIVE: a container declared under the pin may hold the pointers.
+  int CollectInside(int va) {
+    EpochGuard eg;
+    std::vector<Pregion*> tmp;
+    LayoutSnapshot* snap = snapshot();
+    tmp.push_back(snap->Find(va));
+    return static_cast<int>(tmp.size());
+  }
+
+  // NEGATIVE: no pin, no tracking — ordinary pointer plumbing elsewhere is
+  // out of scope for this rule.
+  void NoPin(Pregion* pr) { cached_ = pr; }
+
+ private:
+  Pregion* cached_ = nullptr;
+};
+
+}  // namespace fix

@@ -1,0 +1,44 @@
+// sgcheck fixture: R4 guarded-fields — once a class carries one
+// SG_GUARDED_BY field, every other field must declare its discipline.
+
+namespace fix {
+
+// A protocol struct: entries_ puts the whole class under audit.
+class Table {
+ public:
+  int Lookup(int k) const;
+
+ private:
+  Spinlock lock_;                         // capability: ok
+  int entries_ SG_GUARDED_BY(lock_) = 0;  // annotated: ok
+  std::atomic<int> hits_{0};              // atomic: ok
+  const int capacity_ = 16;               // const: ok
+  Stats& stats_;                          // reference: ok
+  obs::Counter misses_;                   // self-synchronized: ok
+  int dirty_;                             // VIOLATION: nothing declared
+  char* scratch_;                         // VIOLATION: mutable pointer
+};
+
+// Composition: a struct whose fields are all atomics is fine by value.
+struct Shard {
+  std::atomic<int> a{0};
+  std::atomic<int> b{0};
+};
+
+class Sharded {
+ private:
+  Mutex mu_;
+  int len_ SG_GUARDED_BY(mu_) = 0;
+  Shard shard_;   // composed-all-ok: ok
+  Table table_;   // protocol struct by value (has its own capabilities): ok
+  void* cookie_;  // VIOLATION: nothing declared
+};
+
+// No SG_GUARDED_BY anywhere: not a protocol struct, nothing audited.
+class Plain {
+ private:
+  int anything_;
+  char* whatever_;
+};
+
+}  // namespace fix

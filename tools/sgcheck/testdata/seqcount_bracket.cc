@@ -1,0 +1,47 @@
+// sgcheck fixture: R3 seqcount-bracket — mutations of the published-layout
+// backing lists (pregions_/member_tlbs_) and Republish() must sit inside a
+// SeqWriter section so lockless readers can detect them.
+
+namespace fix {
+
+struct Pregion;
+class Tlb;
+
+class Layout {
+ public:
+  // VIOLATION: unbracketed pregion-list mutation.
+  void AttachUnbracketed(Pregion* p) { pregions_.push_back(p); }
+
+  // VIOLATION: unbracketed member-TLB-list mutation via std::erase.
+  void DropTlbUnbracketed(Tlb* t) { std::erase(member_tlbs_, t); }
+
+  // VIOLATION: republishing outside the write section.
+  void RepublishUnbracketed() { Republish(); }
+
+  // NEGATIVE: the same mutations inside a SeqWriter section are the
+  // protocol working as intended.
+  void AttachBracketed(Pregion* p) {
+    SeqWriter w(seq_);
+    pregions_.push_back(p);
+    Republish();
+  }
+  void DropTlbBracketed(Tlb* t) {
+    SeqWriter w(seq_);
+    member_tlbs_.pop_back();
+    std::erase(member_tlbs_, t);
+    Republish();
+  }
+
+  // NEGATIVE: unrelated containers mutate freely.
+  void Scratch(int x) { scratch_.push_back(x); }
+
+ private:
+  void Republish();
+
+  SeqCount seq_;
+  std::vector<Pregion*> pregions_;
+  std::vector<Tlb*> member_tlbs_;
+  std::vector<int> scratch_;
+};
+
+}  // namespace fix

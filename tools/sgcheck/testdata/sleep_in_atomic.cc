@@ -1,0 +1,113 @@
+// sgcheck fixture: R1 sleep-in-atomic — positives and near-miss negatives.
+// Not compiled; parsed only by sgcheck (types are stand-ins for the repo's).
+
+namespace fix {
+
+class Semaphore {
+ public:
+  void P();
+  void V();
+};
+
+class Sleeper {
+ public:
+  // Transitively blocking helpers: DoSleep -> NestedSleep -> sem_.P().
+  void NestedSleep() { sem_.P(); }
+  void DoSleep() { NestedSleep(); }
+
+  // VIOLATION: blocking root directly under a SpinGuard.
+  void DirectUnderSpin() {
+    SpinGuard g(lock_);
+    sem_.P();
+  }
+
+  // VIOLATION: transitive sleep under a SpinGuard (diagnosed with a chain).
+  void TransitiveUnderSpin() {
+    SpinGuard g(lock_);
+    DoSleep();
+  }
+
+  // NEGATIVE: the sleep happens after the guard's scope closes.
+  void SleepAfterGuard() {
+    {
+      SpinGuard g(lock_);
+      counter_ = counter_ + 1;
+    }
+    DoSleep();
+  }
+
+  // VIOLATION: explicit Lock()/Unlock() pair with a sleep inside.
+  void ExplicitPair() {
+    lock_.Lock();
+    sem_.P();
+    lock_.Unlock();
+  }
+
+  // NEGATIVE: sleep after the explicit Unlock().
+  void SleepAfterUnlock() {
+    lock_.Lock();
+    counter_ = 2;
+    lock_.Unlock();
+    sem_.P();
+  }
+
+  // VIOLATION: SG_REQUIRES(lock_) runs the whole body spinlock-held.
+  void RequiresSpin() SG_REQUIRES(lock_) { sem_.P(); }
+
+  // NEGATIVE: rlock_ is a SharedReadLock, not a spinlock — holders may sleep.
+  void RequiresShared() SG_REQUIRES(rlock_) { sem_.P(); }
+
+ private:
+  Spinlock lock_;
+  SharedReadLock rlock_;
+  Semaphore sem_;
+  int counter_ SG_GUARDED_BY(lock_) = 0;
+};
+
+class SeqUser {
+ public:
+  // VIOLATION: blocking inside a seqcount read window.
+  int ReadPath() {
+    for (;;) {
+      u32 s = 0;
+      if (!seq_.TryReadBegin(&s)) continue;
+      sem_.P();
+      if (seq_.ReadValidate(s)) return 1;
+    }
+  }
+
+  // NEGATIVE: a seqcount WRITE section may sleep — readers fail validation
+  // and take the lock path (a latency cost, not a correctness one).
+  void WritePath() {
+    SeqWriter w(seq_);
+    sem_.P();
+  }
+
+ private:
+  SeqCount seq_;
+  Semaphore sem_;
+};
+
+class EpochUser {
+ public:
+  // VIOLATION: blocking while epoch-pinned (the graveyard cannot advance).
+  void Pinned() {
+    EpochGuard eg;
+    sem_.P();
+  }
+
+  // NEGATIVE: blocking after the pin's scope ends.
+  void PinnedThenSleep() {
+    {
+      EpochGuard eg;
+      touched_ = 1;
+    }
+    sem_.P();
+  }
+
+ private:
+  Semaphore sem_;
+  int touched_ = 0;
+};
+
+}  // namespace fix

@@ -1,0 +1,48 @@
+// sgcheck fixture: suppression syntax and semantics. An allow must name a
+// known rule and carry a reason; it covers its own line (trailing form) or
+// the next code line (standalone form) — nothing else.
+
+namespace fix {
+
+class Sup {
+ public:
+  void TrailingForm() {
+    SpinGuard g(lock_);
+    sem_.P();  // sgcheck:allow(sleep-in-atomic): fixture — trailing comment form
+  }
+
+  void StandaloneForm() {
+    SpinGuard g(lock_);
+    // sgcheck:allow(sleep-in-atomic): fixture — standalone comment form
+    sem_.P();
+  }
+
+  void NotSuppressed() {
+    SpinGuard g(lock_);
+    sem_.P();  // VIOLATION: no allow on this line
+  }
+
+  void WrongRule() {
+    SpinGuard g(lock_);
+    // sgcheck:allow(guard-escape): suppressing a different rule does not help
+    sem_.P();  // VIOLATION: still reported
+  }
+
+  void MissingReason() {
+    SpinGuard g(lock_);
+    // sgcheck:allow(sleep-in-atomic)
+    sem_.P();  // VIOLATION: reasonless allow is itself an error and not applied
+  }
+
+  void UnknownRule() {
+    SpinGuard g(lock_);
+    // sgcheck:allow(sleep-in-atomics): typo'd rule names are an error
+    sem_.P();  // VIOLATION: still reported
+  }
+
+ private:
+  Spinlock lock_;
+  Semaphore sem_;
+};
+
+}  // namespace fix
